@@ -1,0 +1,22 @@
+"""A1 — bloom-digest certification ablation (paper §V).
+
+Shape criteria: exact readsets never abort in the contention-free
+workload; bloom digests abort at a rate bounded by (a small multiple of)
+their configured false-positive target.
+"""
+
+from repro.experiments import ablation_bloom
+
+
+def test_a1_bloom(table_runner):
+    table = table_runner(ablation_bloom.run)
+    e2e = {r["readset_digest"]: r for r in table.rows if "aborted" in r}
+    assert e2e["exact"]["aborted"] == 0, "exact digests must not false-positive"
+    assert e2e["bloom fp=0.001"]["abort_rate_pct"] < 2.0
+    scaling = [r for r in table.rows if r["readset_keys"] == 32]
+    exact32 = next(r for r in scaling if r["readset_digest"] == "exact")
+    bloom32 = next(r for r in scaling if r["readset_digest"] == "bloom fp=0.001")
+    assert bloom32["wire_bytes"] < exact32["wire_bytes"], (
+        "digests must beat exact keys on the wire for larger readsets"
+    )
+    assert bloom32["measured_fp"] < 0.01

@@ -1,0 +1,24 @@
+"""A2 — reorder-threshold sweep (the §IV-E sizing warning).
+
+Shape criteria: local p99 improves as R grows and then saturates, while
+an oversized R (far beyond the traffic delivered during a vote round
+trip) inflates global latency.
+"""
+
+from repro.experiments import ablation_threshold
+
+
+def test_a2_threshold(table_runner):
+    table = table_runner(ablation_threshold.run)
+    rows = {r["R"]: r for r in table.rows}
+    base = rows[0]
+    well_sized = min(rows[8]["local_p99_ms"], rows[32]["local_p99_ms"])
+    huge = rows[max(rows)]
+    assert well_sized < base["local_p99_ms"], "reordering should help locals"
+    assert huge["global_avg_ms"] > base["global_avg_ms"] * 1.2, (
+        "an oversized threshold should visibly delay globals "
+        f"({base['global_avg_ms']} -> {huge['global_avg_ms']} ms)"
+    )
+    assert huge["global_avg_ms"] > rows[8]["global_avg_ms"], (
+        "the paper's sizing warning: bigger is not better"
+    )

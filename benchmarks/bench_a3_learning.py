@@ -1,0 +1,21 @@
+"""A3 — Paxos learning-strategy ablation (relay vs broadcast).
+
+Shape criteria: acceptor-broadcast learning cuts WAN 2 global latency by
+roughly 2Δ relative to coordinator relay, at a higher message count per
+commit; the paper's 3δ+3Δ figure lies between the two.
+"""
+
+from repro.experiments import ablation_learning
+
+
+def test_a3_learning(table_runner):
+    table = table_runner(ablation_learning.run)
+    rows = {r["learning"]: r for r in table.rows}
+    relay = rows["coordinator relay"]
+    broadcast = rows["acceptor broadcast"]
+    assert broadcast["global_avg_ms"] < relay["global_avg_ms"], (
+        "broadcast learning must be faster for globals"
+    )
+    assert broadcast["msgs_per_commit"] > relay["msgs_per_commit"], (
+        "broadcast learning must cost more messages"
+    )

@@ -1,0 +1,18 @@
+"""A4 — Paxos value-batching ablation.
+
+Shape criteria: messages per commit drop with the batch window; mean
+latency grows by no more than ~one window.
+"""
+
+from repro.experiments import ablation_batching
+
+
+def test_a4_batching(table_runner):
+    table = table_runner(ablation_batching.run)
+    rows = {r["batch_window"]: r for r in table.rows}
+    assert rows["5 ms"]["msgs_per_commit"] < rows["off"]["msgs_per_commit"] * 0.7, (
+        "batching must cut consensus messages per commit"
+    )
+    assert rows["1 ms"]["avg_ms"] < rows["off"]["avg_ms"] + 2.0, (
+        "1 ms window must cost at most ~the window in latency"
+    )

@@ -1,0 +1,19 @@
+"""A5 — SDUR termination vs genuine atomic multicast (P-Store style).
+
+Shape criteria: in WAN 2 the multicast primitive is slower than SDUR's
+broadcast-plus-votes termination (the paper's related-work claim); in
+WAN 1 they are comparable.
+"""
+
+from repro.experiments import ablation_multicast
+
+
+def test_a5_multicast(table_runner):
+    table = table_runner(ablation_multicast.run)
+    rows = {r["deployment"]: r for r in table.rows}
+    assert rows["wan2"]["amcast_deliver_ms"] > rows["wan2"]["sdur_commit_ms"] * 1.2, (
+        "multicast termination should be clearly slower in WAN 2"
+    )
+    assert rows["wan1"]["amcast_deliver_ms"] >= rows["wan1"]["sdur_commit_ms"] * 0.9, (
+        "multicast should not beat SDUR in WAN 1"
+    )

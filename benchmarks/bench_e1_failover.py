@@ -1,0 +1,19 @@
+"""E1 — availability under leader failover (extension experiment).
+
+Shape criteria: throughput collapses in the failover window (leader
+suspicion + Phase 1) and recovers to at least half the pre-crash level
+once the new leader is steady.
+"""
+
+from repro.experiments import ext_failover
+
+
+def test_e1_failover(table_runner):
+    table = table_runner(ext_failover.run)
+    rows = {r["phase"]: r["tps"] for r in table.rows}
+    assert rows["failover window (2s)"] < rows["before crash"] * 0.5, (
+        "a leader crash must visibly dent throughput"
+    )
+    assert rows["after recovery"] > rows["failover window (2s)"] * 2, (
+        "throughput must recover after the new leader settles"
+    )

@@ -1,0 +1,15 @@
+"""T1 — regenerate the Figure 1 latency-model table (analytic vs measured)."""
+
+from repro.experiments import fig1_model
+
+
+def test_t1_latency_model(table_runner):
+    table = table_runner(fig1_model.run)
+    by_deployment = {row["deployment"]: row for row in table.rows}
+    # Exact agreements the simulator must reproduce (small tolerance for
+    # the loopback hand-off delay).
+    wan1 = by_deployment["wan1"]
+    assert abs(wan1["measured_local_ms"] - wan1["local_commit_ms"]) < 0.5
+    assert abs(wan1["measured_global_ms"] - wan1["global_commit_ms"]) < 0.5
+    wan2 = by_deployment["wan2"]
+    assert abs(wan2["measured_local_ms"] - wan2["local_commit_ms"]) < 0.5

@@ -1,0 +1,18 @@
+"""F2 — regenerate Figure 2: baseline SDUR in WAN 1 / WAN 2.
+
+Shape criteria checked: adding globals inflates the 99th-percentile
+latency of local transactions dramatically in WAN 1 (paper: up to 10×)
+and mildly in WAN 2 (paper: ≤ 1.34×); CDFs are captured for 0 % and 10 %.
+"""
+
+from repro.experiments import fig2_baseline
+
+
+def test_f2_baseline(table_runner):
+    table = table_runner(fig2_baseline.run)
+    rows = {(r["deployment"], r["globals_pct"]): r for r in table.rows}
+    wan1_blowup = rows[("wan1", 1.0)]["local_p99_ms"] / rows[("wan1", 0.0)]["local_p99_ms"]
+    wan2_blowup = rows[("wan2", 1.0)]["local_p99_ms"] / rows[("wan2", 0.0)]["local_p99_ms"]
+    assert wan1_blowup > 2.5, f"WAN1 convoy effect too weak: {wan1_blowup:.1f}x"
+    assert wan2_blowup < wan1_blowup, "WAN2 must be less sensitive than WAN1"
+    assert table.cdfs, "latency CDFs must be captured"

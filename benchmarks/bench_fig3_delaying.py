@@ -1,0 +1,17 @@
+"""F3 — regenerate Figure 3: transaction delaying in WAN 1.
+
+Shape criteria: delaying helps locals at 1 % globals and shows no
+significant gain at 10 %/50 % (paper §VI-C).
+"""
+
+from repro.experiments import fig3_delaying
+
+
+def test_f3_delaying(table_runner):
+    table = table_runner(fig3_delaying.run)
+    rows = {(r["globals_pct"], r["delay_ms"]): r for r in table.rows}
+    base = rows[(1.0, "baseline")]["local_avg_ms"]
+    best = min(
+        rows[(1.0, d)]["local_avg_ms"] for d in ("20", "40", "60")
+    )
+    assert best <= base * 1.05, "delaying should not hurt locals at 1% globals"

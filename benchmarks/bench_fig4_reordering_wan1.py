@@ -1,0 +1,20 @@
+"""F4 — regenerate Figure 4: reordering in WAN 1.
+
+Shape criteria: the largest threshold improves locals' p99 by ≥ 40 %
+(paper: 48–69 %) at every workload mix, with globals' mean within ~2× of
+baseline.
+"""
+
+from repro.experiments import fig4_reorder_wan1
+
+
+def test_f4_reordering_wan1(table_runner):
+    table = table_runner(fig4_reorder_wan1.run)
+    for fraction in (1.0, 10.0):
+        rows = [r for r in table.rows if r["globals_pct"] == fraction]
+        base = next(r for r in rows if r["R"] == "baseline")
+        best_gain = max(r.get("local_p99_gain_pct", 0) for r in rows)
+        assert best_gain > 40, (
+            f"reordering gain at {fraction}% globals only {best_gain}% "
+            f"(baseline p99 {base['local_p99_ms']} ms)"
+        )

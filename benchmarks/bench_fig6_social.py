@@ -1,0 +1,25 @@
+"""F6 — regenerate Figure 6: the social network application.
+
+Shape criteria: with reordering enabled, post and local-follow p99
+improve substantially in WAN 1 (paper: 70 %/71 %) while global follows
+stay roughly flat; timelines (global read-only) never abort.
+"""
+
+from repro.experiments import fig6_social
+
+
+def test_f6_social(table_runner):
+    table = table_runner(fig6_social.run)
+    wan1 = {
+        (r["mode"].startswith("reorder"), r["operation"]): r
+        for r in table.rows
+        if r["deployment"] == "wan1"
+    }
+    for operation in ("post", "follow"):
+        base = wan1[(False, operation)]["p99_ms"]
+        reordered = wan1[(True, operation)]["p99_ms"]
+        assert reordered < base * 0.75, (
+            f"wan1 {operation}: p99 {base} -> {reordered} (expected >25% gain)"
+        )
+    timeline_rows = [r for r in table.rows if r["operation"] == "timeline"]
+    assert all(r["aborted"] == 0 for r in timeline_rows), "read-only must not abort"

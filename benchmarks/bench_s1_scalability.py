@@ -1,0 +1,20 @@
+"""S1 — regenerate the DSN 2012 scalability result (reconstructed).
+
+Shape criteria: SDUR's local-only throughput grows near-linearly with
+the number of partitions (≥ 1.6× per doubling), while classic DUR over
+the same total server count stays flat (within 30 % of its 1-group
+value).
+"""
+
+from repro.experiments import scalability
+
+
+def test_s1_scalability(table_runner):
+    table = table_runner(scalability.run_s1)
+    rows = {r["partitions"]: r for r in table.rows}
+    partitions = sorted(rows)
+    for smaller, larger in zip(partitions, partitions[1:]):
+        ratio = rows[larger]["sdur_tput"] / rows[smaller]["sdur_tput"]
+        assert ratio > 1.6, f"SDUR scaling {smaller}->{larger} partitions: {ratio:.2f}x"
+    classic = [rows[p]["classic_dur_tput"] for p in partitions]
+    assert max(classic) < min(classic) * 1.3, f"classic DUR should stay flat: {classic}"

@@ -1,0 +1,17 @@
+"""S2 — regenerate the global-mix throughput decay (DSN 2012, reconstructed).
+
+Shape criteria: aggregate throughput decreases monotonically-ish with
+the share of global transactions, dropping by ≥ 15 % at a 50 % mix.
+"""
+
+from repro.experiments import scalability
+
+
+def test_s2_global_mix(table_runner):
+    table = table_runner(scalability.run_s2)
+    rows = sorted(table.rows, key=lambda r: r["globals_pct"])
+    assert rows[0]["globals_pct"] == 0.0
+    assert rows[-1]["relative"] < 0.85, (
+        f"50% globals should cost >15% throughput, got {rows[-1]['relative']}"
+    )
+    assert rows[-1]["tput"] < rows[0]["tput"]

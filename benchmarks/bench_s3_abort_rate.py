@@ -1,0 +1,18 @@
+"""S3 — regenerate the contention/abort-rate sweep (DSN 2012, reconstructed).
+
+Shape criteria: abort rate grows with zipf skew (optimistic concurrency
+control pays for hot keys at certification).
+"""
+
+from repro.experiments import aborts
+
+
+def test_s3_abort_rate(table_runner):
+    table = table_runner(aborts.run)
+    local_rows = [r for r in table.rows if r["globals_pct"] == 0]
+    uniform = next(r for r in local_rows if r["key_skew"] == "uniform")
+    hottest = next(r for r in local_rows if r["key_skew"] == "zipf 1.2")
+    assert hottest["abort_rate_pct"] > uniform["abort_rate_pct"], (
+        f"skew must raise aborts: uniform {uniform['abort_rate_pct']}% "
+        f"vs zipf1.2 {hottest['abort_rate_pct']}%"
+    )

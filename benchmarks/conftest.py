@@ -1,0 +1,38 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_*.py`` regenerates one table/figure of the paper by running
+the corresponding :mod:`repro.experiments` module.  The pytest-benchmark
+timing wraps the *whole experiment* (rounds=1: an experiment is a
+simulation run, not a microbenchmark), and the paper-style rows land in
+``extra_info`` and on stdout.
+
+Set ``REPRO_BENCH_FULL=1`` for paper-scale parameters; the default quick
+mode keeps every benchmark in the tens of seconds.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+#: Rendered tables are persisted here (pytest captures stdout of passing
+#: tests, so printing alone would lose them).
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def run_table(benchmark, run_fn):
+    """Run one experiment under the benchmark fixture; print and persist
+    its paper-style table."""
+    quick = os.environ.get("REPRO_BENCH_FULL", "") == ""
+    table = benchmark.pedantic(lambda: run_fn(quick=quick), rounds=1, iterations=1)
+    benchmark.extra_info.update(table.extra_info())
+    print()
+    table.print()
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{table.experiment_id}.txt").write_text(table.render() + "\n")
+    return table
+
+
+@pytest.fixture
+def table_runner(benchmark):
+    return lambda run_fn: run_table(benchmark, run_fn)

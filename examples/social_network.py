@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""The paper's Twitter-like social network on SDUR (§VI-A / Figure 6).
+
+Two partitions of users replicated across regions; clients in each region
+run the 85/7.5/7.5 timeline/post/follow mix against their local users.
+Prints per-operation latency with and without reordering — the effect
+the paper's Figure 6 reports.
+
+Run:  python examples/social_network.py [--quick]
+"""
+
+import random
+import sys
+
+from repro.core.config import SdurConfig
+from repro.core.partitioning import PartitionMap
+from repro.geo.deployments import wan1_deployment
+from repro.harness.cluster import build_cluster
+from repro.harness.driver import run_experiment
+from repro.workload.social import SocialNetworkWorkload, generate_social_data
+
+NUM_USERS = 1_000
+CLIENTS_PER_PARTITION = 6
+
+
+def run_once(reorder_threshold: int, measure: float):
+    deployment = wan1_deployment(num_partitions=2)
+    config = SdurConfig(reorder_threshold=reorder_threshold)
+    cluster = build_cluster(
+        deployment, PartitionMap.by_index(2), config, seed=9, jitter_fraction=0.1
+    )
+    cluster.seed(generate_social_data(NUM_USERS, follows_per_user=8, rng=random.Random(1)))
+    pairs = []
+    for partition in deployment.partition_ids:
+        home = int(partition[1:])
+        for _ in range(CLIENTS_PER_PARTITION):
+            client = cluster.add_client(region=deployment.preferred_region[partition])
+            pairs.append(
+                (client, SocialNetworkWorkload(NUM_USERS, 2, home))
+            )
+    return run_experiment(cluster, pairs, warmup=2.0, measure=measure)
+
+
+def main() -> None:
+    measure = 6.0 if "--quick" in sys.argv else 15.0
+    print(f"{'operation':<15} {'mode':<12} {'count':>6} {'avg ms':>8} {'p99 ms':>8}")
+    for mode, threshold in (("baseline", 0), ("reorder", 8)):
+        run = run_once(threshold, measure)
+        for label in ("timeline", "post", "follow", "follow-global"):
+            s = run.summary(label=label)
+            print(
+                f"{label:<15} {mode:<12} {s.committed:>6} "
+                f"{s.latency.ms('mean'):>8.1f} {s.latency.ms('p99'):>8.1f}"
+            )
+        total = run.summary()
+        print(f"{'-- total':<15} {mode:<12} {total.committed:>6} "
+              f"(aborted: {total.aborted}, {total.throughput:.0f} tps)\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Baselines SDUR is compared against."""
+
+from repro.baseline.dur import build_classic_dur, classic_dur_deployment
+
+__all__ = ["build_classic_dur", "classic_dur_deployment"]

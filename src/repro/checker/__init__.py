@@ -1,0 +1,14 @@
+"""Correctness checking: committed-history recording and serializability.
+
+The paper's isolation property is serializability (§II-B).  The checker
+records what actually happened in a run — which transaction committed at
+which version in which partition, and which versions each transaction
+read — and then verifies that the multiversion serialization graph is
+acyclic.  Property-based tests run randomized workloads through the whole
+stack and assert this end-to-end.
+"""
+
+from repro.checker.history import HistoryRecorder
+from repro.checker.serializability import CheckReport, check_serializability
+
+__all__ = ["HistoryRecorder", "CheckReport", "check_serializability"]

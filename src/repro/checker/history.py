@@ -1,0 +1,113 @@
+"""Recording the committed history of a run.
+
+Servers report every local commit through
+:attr:`repro.core.server.SdurServer.on_commit_hook`; clients report
+transaction results.  Because each partition is replicated, the recorder
+receives each ``(transaction, partition)`` commit from several replicas —
+it *asserts* they agree on the commit version, which directly checks the
+paper's determinism requirement (replicas of a partition must apply the
+same transactions at the same positions, §IV-G).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.client import TxnResult
+from repro.core.transaction import TxnId, TxnProjection
+from repro.errors import ProtocolError
+
+
+@dataclass
+class CommitPoint:
+    """Where one transaction committed in one partition."""
+
+    version: int
+    ws_keys: frozenset[str]
+    #: Replica node ids that reported this commit (should be the whole group).
+    reporters: set[str] = field(default_factory=set)
+
+
+class HistoryRecorder:
+    """Accumulates server commits and client results for checking."""
+
+    def __init__(self) -> None:
+        #: tid -> partition -> commit point.
+        self.commits: dict[TxnId, dict[str, CommitPoint]] = {}
+        #: tid -> all partitions the transaction declared.
+        self.involved: dict[TxnId, tuple[str, ...]] = {}
+        self.results: list[TxnResult] = []
+        #: Divergence errors found while recording (should stay empty).
+        self.violations: list[str] = []
+
+    # ------------------------------------------------------------------
+    # Server side
+    # ------------------------------------------------------------------
+    def server_hook(self, node_id: str):
+        """A per-server ``on_commit_hook`` bound to ``node_id``."""
+
+        def hook(tid: TxnId, partition: str, version: int, proj: TxnProjection) -> None:
+            self.on_commit(node_id, tid, partition, version, proj)
+
+        return hook
+
+    def on_commit(
+        self, node_id: str, tid: TxnId, partition: str, version: int, proj: TxnProjection
+    ) -> None:
+        per_partition = self.commits.setdefault(tid, {})
+        point = per_partition.get(partition)
+        if point is None:
+            per_partition[partition] = CommitPoint(
+                version=version, ws_keys=proj.ws_keys, reporters={node_id}
+            )
+            self.involved.setdefault(tid, proj.partitions)
+            return
+        if point.version != version:
+            self.violations.append(
+                f"replica divergence: {tid} committed at version {point.version} and "
+                f"{version} in partition {partition} (reporter {node_id})"
+            )
+        if point.ws_keys != proj.ws_keys:
+            self.violations.append(
+                f"replica divergence: {tid} writeset differs across replicas "
+                f"in partition {partition}"
+            )
+        point.reporters.add(node_id)
+
+    # ------------------------------------------------------------------
+    # Client side
+    # ------------------------------------------------------------------
+    def record_result(self, result: TxnResult) -> None:
+        self.results.append(result)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def committed_results(self) -> list[TxnResult]:
+        return [r for r in self.results if r.committed]
+
+    def commit_version(self, tid: TxnId, partition: str) -> int:
+        try:
+            return self.commits[tid][partition].version
+        except KeyError:
+            raise ProtocolError(f"no commit recorded for {tid} in {partition}") from None
+
+    def assert_replica_agreement(self, expected_reporters: dict[str, int] | None = None) -> None:
+        """Raise if replicas diverged; optionally require full reporting.
+
+        ``expected_reporters`` maps partition -> replica count; when given,
+        every commit must have been reported by every replica of its
+        partition (use after the simulation has fully drained).
+        """
+        if self.violations:
+            raise AssertionError("; ".join(self.violations[:5]))
+        if expected_reporters is None:
+            return
+        for tid, per_partition in self.commits.items():
+            for partition, point in per_partition.items():
+                expected = expected_reporters.get(partition)
+                if expected is not None and len(point.reporters) != expected:
+                    raise AssertionError(
+                        f"{tid} in {partition}: reported by {len(point.reporters)} "
+                        f"of {expected} replicas"
+                    )

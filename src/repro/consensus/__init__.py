@@ -1,0 +1,37 @@
+"""Atomic broadcast via MultiPaxos, one instance per partition.
+
+SDUR totally orders transaction termination *within* each partition
+(never across partitions) by running an independent MultiPaxos group per
+partition (paper §II-A, §V).  This package implements that substrate from
+scratch:
+
+* :mod:`repro.consensus.messages` — the Paxos wire protocol.
+* :mod:`repro.consensus.log` — per-replica instance log with in-order
+  delivery.
+* :mod:`repro.consensus.leader` — the leader-election oracle (static for
+  failure-free benchmarks, heartbeat-based otherwise).
+* :mod:`repro.consensus.replica` — the MultiPaxos replica
+  (proposer + acceptor + learner).  Acceptors answer the coordinator
+  (Figure 1 ③④: decision after two delays → 4δ local commits) and the
+  coordinator relays the decision to followers, reproducing the paper's
+  latency model; acceptor-broadcast learning is available as an ablation.
+* :mod:`repro.consensus.abcast` — ``abcast(partition, value)`` /
+  ``adeliver`` facade used by the SDUR layer.
+"""
+
+from repro.consensus.abcast import AbcastFabric
+from repro.consensus.leader import LeaderElector
+from repro.consensus.log import PaxosLog
+from repro.consensus.messages import Ballot, ClientPropose, PaxosNoop
+from repro.consensus.replica import PaxosConfig, PaxosReplica
+
+__all__ = [
+    "AbcastFabric",
+    "Ballot",
+    "ClientPropose",
+    "LeaderElector",
+    "PaxosConfig",
+    "PaxosLog",
+    "PaxosNoop",
+    "PaxosReplica",
+]

@@ -1,0 +1,547 @@
+"""The SDUR client protocol core (Algorithm 1 of the paper).
+
+Application transactions are written as **transaction programs**:
+generator functions that receive a :class:`Txn` handle, yield
+:class:`Read`/:class:`ReadMany` operations to fetch values, buffer writes
+with :meth:`Txn.write`, and return to request commit::
+
+    def transfer(txn):
+        a = yield Read("account/a")
+        b = yield Read("account/b")
+        txn.write("account/a", a - 10)
+        txn.write("account/b", b + 10)
+
+The client runs the program sans-io: each yielded read is sent to the
+nearest replica of the key's partition (or through the session server
+when ``direct_reads`` is off, matching the paper's prototype §V); the
+first read in a partition pins that partition's snapshot (Algorithm 1
+line 13); writes are buffered and shipped only at commit (line 16).
+
+Update transactions terminate via a :class:`CommitRequest` to the
+client's session (preferred) server.  Read-only transactions commit
+without certification; multi-partition read-only transactions first
+obtain a globally-consistent snapshot vector (§III-A).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Generator
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.directory import ClusterDirectory
+from repro.core.messages import (
+    CommitRequest,
+    GetSnapshotVector,
+    OutcomeNotice,
+    ReadRequest,
+    ReadResponse,
+    SnapshotVectorReply,
+)
+from repro.core.partitioning import PartitionMap
+from repro.core.transaction import Outcome, ReadsetDigest, TxnId, TxnProjection
+from repro.errors import ProtocolError
+from repro.runtime.base import Runtime
+
+
+@dataclass(frozen=True)
+class Read:
+    """Yield this to read one key; the yield evaluates to its value."""
+
+    key: str
+
+
+@dataclass(frozen=True)
+class ReadMany:
+    """Yield this to read keys in parallel; evaluates to ``{key: value}``."""
+
+    keys: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class TxnResult:
+    """What the application learns when a transaction completes."""
+
+    tid: TxnId
+    outcome: Outcome
+    started: float
+    finished: float
+    is_global: bool
+    read_only: bool
+    partitions: tuple[str, ...]
+    #: key -> version actually read (for the serializability checker).
+    read_versions: dict[str, int] = field(default_factory=dict)
+    writes: dict[str, Any] = field(default_factory=dict)
+    abort_reason: str | None = None
+    #: Label the workload attached (e.g. "post", "timeline").
+    label: str = ""
+
+    @property
+    def latency(self) -> float:
+        return self.finished - self.started
+
+    @property
+    def committed(self) -> bool:
+        return self.outcome is Outcome.COMMIT
+
+
+@dataclass(frozen=True)
+class ClientConfig:
+    """Client-side knobs."""
+
+    #: Preferred server near the client (commit requests go here).
+    session_server: str
+    #: Send reads straight to the nearest replica of the key's partition
+    #: (Algorithm 1).  Off = route everything through the session server
+    #: (the prototype of §V).
+    direct_reads: bool = True
+    #: Fetch a globally-consistent vector for read-only transactions.
+    readonly_snapshot: bool = True
+    #: Ship readsets as bloom digests (must match the servers' setting).
+    bloom_readsets: bool = False
+    bloom_fp_rate: float = 0.001
+    #: Re-send the commit request if no outcome arrives (failover);
+    #: ``None`` disables.
+    commit_timeout: float | None = None
+    #: Re-issue an unanswered read to the next-nearest replica after this
+    #: long (read failover across a partition's replicas); ``None`` disables.
+    read_timeout: float | None = None
+    #: How long an unresponsive server stays suspected (skipped when
+    #: choosing read/commit targets) after a timeout fired against it.
+    suspect_ttl: float = 5.0
+    #: Reject writes to keys not previously read (the paper assumes
+    #: ``ws ⊆ rs``; §II-B).
+    enforce_no_blind_writes: bool = True
+
+
+#: A transaction program: generator yielding Read/ReadMany operations.
+TxnProgram = Callable[["Txn"], Generator[Any, Any, None]]
+
+
+class Txn:
+    """Handle passed to transaction programs."""
+
+    def __init__(self, owner: "_ActiveTxn") -> None:
+        self._owner = owner
+
+    @property
+    def tid(self) -> TxnId:
+        return self._owner.tid
+
+    def write(self, key: str, value: Any) -> None:
+        """Buffer a write; shipped to servers only at commit."""
+        self._owner.record_write(key, value)
+
+
+class _ActiveTxn:
+    """Book-keeping for one in-flight transaction at the client."""
+
+    def __init__(
+        self,
+        tid: TxnId,
+        program: TxnProgram,
+        on_done: Callable[[TxnResult], None],
+        read_only: bool,
+        started: float,
+        label: str,
+        enforce_no_blind_writes: bool,
+    ) -> None:
+        self.tid = tid
+        self.on_done = on_done
+        self.read_only = read_only
+        self.started = started
+        self.label = label
+        self.enforce_no_blind_writes = enforce_no_blind_writes
+        self.gen = program(Txn(self))
+        self.rs_keys: set[str] = set()
+        self.read_versions: dict[str, int] = {}
+        self.ws: dict[str, Any] = {}
+        #: partition -> pinned snapshot (Algorithm 1's ``t.st``).
+        self.st: dict[str, int] = {}
+        #: Pre-pinned vector for read-only transactions.
+        self.vector: dict[str, int] | None = None
+        self.next_op = 0
+        #: op_id -> retry attempts made (read failover bookkeeping).
+        self.read_attempts: dict[int, int] = {}
+        #: op_id -> last server the read was sent to (suspicion target).
+        self.read_targets: dict[int, str] = {}
+        #: op_id -> key, for single reads in flight.
+        self.single_ops: dict[int, str] = {}
+        #: Batch state for an in-flight ReadMany.
+        self.batch_ops: dict[int, str] = {}
+        self.batch_values: dict[str, Any] = {}
+        self.failed: str | None = None
+        self.committing = False
+        self.resend_count = 0
+        self.last_commit_target: str | None = None
+
+    def record_write(self, key: str, value: Any) -> None:
+        if self.read_only:
+            raise ProtocolError(f"{self.tid}: write in a read-only transaction")
+        if self.enforce_no_blind_writes and key not in self.rs_keys:
+            raise ProtocolError(
+                f"{self.tid}: blind write to {key!r} (paper assumes ws ⊆ rs; "
+                f"read the key first)"
+            )
+        self.ws[key] = value
+
+
+class ClientStats:
+    """Per-client counters."""
+
+    def __init__(self) -> None:
+        self.started = 0
+        self.committed = 0
+        self.aborted = 0
+        self.commit_resends = 0
+
+
+class SdurClient:
+    """Algorithm 1: the client side of geo-SDUR."""
+
+    def __init__(
+        self,
+        runtime: Runtime,
+        directory: ClusterDirectory,
+        partition_map: PartitionMap,
+        config: ClientConfig,
+    ) -> None:
+        self.runtime = runtime
+        self.directory = directory
+        self.partition_map = partition_map
+        self.config = config
+        self._seq = 0
+        # Transaction ids must be unique across client incarnations:
+        # servers de-duplicate deliveries by id, so a restarted client
+        # reusing ids would have its transactions silently dropped as
+        # replays of their recovered namesakes.
+        self._incarnation = runtime.rng("txn-id").getrandbits(32)
+        self._id_namespace = f"{runtime.node_id}~{self._incarnation:08x}"
+        self._active: dict[TxnId, _ActiveTxn] = {}
+        #: Unresponsive servers -> suspicion expiry time (client-side
+        #: failure detection: a suspected server is deprioritized for
+        #: reads and commit resends until the suspicion expires).
+        self._suspected: dict[str, float] = {}
+        self.stats = ClientStats()
+
+    @property
+    def node_id(self) -> str:
+        return self.runtime.node_id
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        program: TxnProgram,
+        on_done: Callable[[TxnResult], None],
+        read_only: bool = False,
+        label: str = "",
+    ) -> TxnId:
+        """Run one transaction program; ``on_done`` gets the result."""
+        self._seq += 1
+        tid = TxnId(client=self._id_namespace, seq=self._seq)
+        state = _ActiveTxn(
+            tid=tid,
+            program=program,
+            on_done=on_done,
+            read_only=read_only,
+            started=self.runtime.now(),
+            label=label,
+            enforce_no_blind_writes=self.config.enforce_no_blind_writes,
+        )
+        self._active[tid] = state
+        self.stats.started += 1
+        needs_vector = (
+            read_only
+            and self.config.readonly_snapshot
+            and len(self.directory.partition_ids) > 1
+        )
+        if needs_vector:
+            self.runtime.send(
+                self.config.session_server,
+                GetSnapshotVector(tid=tid, reply_to=self.node_id),
+            )
+        else:
+            self._advance(state, None)
+        return tid
+
+    # ------------------------------------------------------------------
+    # Message entry point
+    # ------------------------------------------------------------------
+    def handle(self, src: str, msg: Any) -> bool:
+        if isinstance(msg, ReadResponse):
+            self._on_read_response(msg)
+        elif isinstance(msg, SnapshotVectorReply):
+            self._on_vector(msg)
+        elif isinstance(msg, OutcomeNotice):
+            self._on_outcome(msg)
+        else:
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Client-side failure suspicion
+    # ------------------------------------------------------------------
+    def _suspect(self, server: str) -> None:
+        self._suspected[server] = self.runtime.now() + self.config.suspect_ttl
+
+    def _responsive(self, servers: list[str]) -> list[str]:
+        """``servers`` with suspected ones moved to the back (never empty)."""
+        now = self.runtime.now()
+        alive = [s for s in servers if self._suspected.get(s, 0.0) <= now]
+        dead = [s for s in servers if s not in alive]
+        return alive + dead if alive else list(servers)
+
+    # ------------------------------------------------------------------
+    # Program driving
+    # ------------------------------------------------------------------
+    def _advance(self, state: _ActiveTxn, send_value: Any) -> None:
+        if state.failed is not None:
+            return
+        try:
+            op = state.gen.send(send_value)
+        except StopIteration:
+            self._commit(state)
+            return
+        if isinstance(op, Read):
+            self._do_read(state, op.key)
+        elif isinstance(op, ReadMany):
+            self._do_read_many(state, op.keys)
+        else:
+            raise ProtocolError(f"{state.tid}: program yielded {op!r}")
+
+    def _do_read(self, state: _ActiveTxn, key: str) -> None:
+        state.rs_keys.add(key)
+        if key in state.ws:
+            # Read-your-writes from the local buffer (Algorithm 1 lines 7–8).
+            self._advance(state, state.ws[key])
+            return
+        op_id = self._issue_read(state, key)
+        state.single_ops[op_id] = key
+
+    def _do_read_many(self, state: _ActiveTxn, keys: tuple[str, ...]) -> None:
+        unique = list(dict.fromkeys(keys))
+        state.batch_values = {}
+        state.batch_ops = {}
+        remote = []
+        for key in unique:
+            state.rs_keys.add(key)
+            if key in state.ws:
+                state.batch_values[key] = state.ws[key]
+            else:
+                remote.append(key)
+        if not remote:
+            values, state.batch_values = state.batch_values, {}
+            self._advance(state, values)
+            return
+        for key in remote:
+            op_id = self._issue_read(state, key)
+            state.batch_ops[op_id] = key
+
+    def _issue_read(self, state: _ActiveTxn, key: str) -> int:
+        op_id = state.next_op
+        state.next_op += 1
+        self._send_read(state, op_id, key, attempt=0)
+        if self.config.read_timeout is not None:
+            self._arm_read_retry(state, op_id, key)
+        return op_id
+
+    def _send_read(self, state: _ActiveTxn, op_id: int, key: str, attempt: int) -> None:
+        partition = self.partition_map.partition_of(key)
+        if state.vector is not None:
+            snapshot: int | None = state.vector.get(partition, 0)
+        else:
+            snapshot = state.st.get(partition)
+        if self.config.direct_reads:
+            ranked = self._responsive(self.directory.ranked_servers(partition, self.node_id))
+            target = ranked[attempt % len(ranked)]
+        else:
+            target = self.config.session_server
+        state.read_targets[op_id] = target
+        self.runtime.send(
+            target,
+            ReadRequest(
+                tid=state.tid,
+                op_id=op_id,
+                key=key,
+                snapshot=snapshot,
+                reply_to=self.node_id,
+            ),
+        )
+
+    def _arm_read_retry(self, state: _ActiveTxn, op_id: int, key: str) -> None:
+        def fire() -> None:
+            if state.tid not in self._active:
+                return
+            if op_id not in state.single_ops and op_id not in state.batch_ops:
+                return  # answered in the meantime
+            stale_target = state.read_targets.get(op_id)
+            if stale_target is not None:
+                self._suspect(stale_target)
+            attempt = state.read_attempts.get(op_id, 0) + 1
+            state.read_attempts[op_id] = attempt
+            self._send_read(state, op_id, key, attempt)
+            self._arm_read_retry(state, op_id, key)
+
+        self.runtime.set_timer(self.config.read_timeout, fire)
+
+    def _on_read_response(self, msg: ReadResponse) -> None:
+        state = self._active.get(msg.tid)
+        if state is None:
+            return
+        if msg.error is not None:
+            self._finish(state, Outcome.ABORT, abort_reason=msg.error)
+            return
+        if msg.partition not in state.st:
+            state.st[msg.partition] = msg.snapshot  # Algorithm 1 line 13
+        if msg.op_id in state.single_ops:
+            state.read_versions[msg.key] = msg.item_version
+            del state.single_ops[msg.op_id]
+            self._advance(state, msg.value)
+        elif msg.op_id in state.batch_ops:
+            key = state.batch_ops.pop(msg.op_id)
+            if msg.snapshot != state.st[msg.partition]:
+                # Torn batch: the paper's Algorithm 1 reads sequentially,
+                # so the first read pins the partition snapshot before any
+                # other is issued.  Our parallel ReadMany issues
+                # first-contact reads concurrently; if a commit lands in
+                # between, siblings can execute at different snapshots and
+                # certification (which starts from the pinned st) would
+                # miss the interleaved writer.  Repair by re-reading the
+                # inconsistent key at the pinned snapshot — one extra
+                # round trip, only when a commit raced the batch.
+                retry_op = self._issue_read(state, key)
+                state.batch_ops[retry_op] = key
+                return
+            state.read_versions[msg.key] = msg.item_version
+            state.batch_values[key] = msg.value
+            if not state.batch_ops:
+                values, state.batch_values = state.batch_values, {}
+                self._advance(state, values)
+        # else: duplicate/stale response; ignore.
+
+    def _on_vector(self, msg: SnapshotVectorReply) -> None:
+        state = self._active.get(msg.tid)
+        if state is None or state.vector is not None:
+            return
+        state.vector = dict(msg.vector)
+        self._advance(state, None)
+
+    # ------------------------------------------------------------------
+    # Termination (Algorithm 1 lines 17–20)
+    # ------------------------------------------------------------------
+    def _commit(self, state: _ActiveTxn) -> None:
+        if not state.ws:
+            # Read-only: commits without certification (§III-A).
+            self._finish(state, Outcome.COMMIT)
+            return
+        state.committing = True
+        # Pick the target first: the projections name it as coordinator,
+        # which determines which server answers the client (Figure 1 ⑦).
+        target = self._commit_target_for(state)
+        request = self._build_commit_request(state, coordinator=target)
+        state.last_commit_target = target
+        self.runtime.send(target, request)
+        if self.config.commit_timeout is not None:
+            self._arm_commit_retry(state, request)
+
+    def _build_commit_request(self, state: _ActiveTxn, coordinator: str) -> CommitRequest:
+        keys = state.rs_keys | set(state.ws)
+        partitions = self.partition_map.partitions_of(keys)
+        projections: dict[str, TxnProjection] = {}
+        for partition in partitions:
+            rs_p = [k for k in state.rs_keys if self.partition_map.partition_of(k) == partition]
+            ws_p = {
+                k: v
+                for k, v in state.ws.items()
+                if self.partition_map.partition_of(k) == partition
+            }
+            snapshot = state.st.get(partition)
+            if snapshot is None:
+                raise ProtocolError(
+                    f"{state.tid}: no snapshot for partition {partition!r} "
+                    f"(blind write slipped through?)"
+                )
+            if self.config.bloom_readsets:
+                digest = ReadsetDigest.bloomed(rs_p, fp_rate=self.config.bloom_fp_rate)
+            else:
+                digest = ReadsetDigest.exact(rs_p)
+            projections[partition] = TxnProjection(
+                tid=state.tid,
+                partition=partition,
+                readset=digest,
+                writeset=ws_p,
+                snapshot=snapshot,
+                partitions=partitions,
+                coordinator=coordinator,
+                client=self.node_id,
+            )
+        return CommitRequest(tid=state.tid, projections=projections)
+
+    def _commit_target_for(self, state: _ActiveTxn) -> str:
+        """The session server, unless it is currently suspected — then the
+        nearest responsive server of the first involved partition."""
+        session = self.config.session_server
+        if self._suspected.get(session, 0.0) <= self.runtime.now():
+            return session
+        keys = state.rs_keys | set(state.ws)
+        partitions = self.partition_map.partitions_of(keys)
+        ranked = self.directory.ranked_servers(partitions[0], self.node_id)
+        return self._responsive(ranked)[0]
+
+    def _arm_commit_retry(self, state: _ActiveTxn, request: CommitRequest) -> None:
+        previous_target = (
+            state.last_commit_target
+            if state.last_commit_target is not None
+            else self.config.session_server
+        )
+
+        def fire() -> None:
+            if state.tid not in self._active or not state.committing:
+                return
+            self._suspect(previous_target)
+            # Fail over to another server of the involved partitions,
+            # preferring ones not currently suspected.
+            partitions = sorted(request.projections)
+            servers = self._responsive(self.directory.servers_union(partitions))
+            state.resend_count += 1
+            self.stats.commit_resends += 1
+            target = servers[(state.resend_count - 1) % len(servers)]
+            state.last_commit_target = target
+            self.runtime.send(target, request)
+            self._arm_commit_retry(state, request)
+
+        self.runtime.set_timer(self.config.commit_timeout, fire)
+
+    def _on_outcome(self, msg: OutcomeNotice) -> None:
+        state = self._active.get(msg.tid)
+        if state is None:
+            return  # later replica notices for an already-finished txn
+        self._finish(state, Outcome(msg.outcome))
+
+    def _finish(
+        self, state: _ActiveTxn, outcome: Outcome, abort_reason: str | None = None
+    ) -> None:
+        self._active.pop(state.tid, None)
+        state.failed = abort_reason or (None if outcome is Outcome.COMMIT else "aborted")
+        keys = state.rs_keys | set(state.ws)
+        partitions = self.partition_map.partitions_of(keys) if keys else ()
+        if outcome is Outcome.COMMIT:
+            self.stats.committed += 1
+        else:
+            self.stats.aborted += 1
+        result = TxnResult(
+            tid=state.tid,
+            outcome=outcome,
+            started=state.started,
+            finished=self.runtime.now(),
+            is_global=len(partitions) > 1,
+            read_only=not state.ws,
+            partitions=partitions,
+            read_versions=dict(state.read_versions),
+            writes=dict(state.ws),
+            abort_reason=abort_reason,
+            label=state.label,
+        )
+        state.on_done(result)

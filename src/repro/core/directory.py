@@ -1,0 +1,90 @@
+"""Cluster directory: which servers replicate which partition, and where.
+
+Both clients and servers consult the directory to route reads to the
+nearest replica of a partition and commits to *preferred servers*
+(paper §IV-A: each partition has a preferred server placed in the region
+of its main clients).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.net.topology import Topology
+
+
+@dataclass
+class ClusterDirectory:
+    """Static membership and placement of one SDUR deployment."""
+
+    #: partition id -> ordered list of server node ids replicating it.
+    partitions: dict[str, list[str]]
+    #: partition id -> its preferred server (Paxos leader pinned there).
+    preferred: dict[str, str]
+    #: Placement of every node (servers and clients).
+    topology: Topology = field(default_factory=Topology)
+
+    def __post_init__(self) -> None:
+        for partition, members in self.partitions.items():
+            if not members:
+                raise ConfigurationError(f"partition {partition!r} has no servers")
+            pref = self.preferred.get(partition)
+            if pref is None:
+                raise ConfigurationError(f"partition {partition!r} has no preferred server")
+            if pref not in members:
+                raise ConfigurationError(
+                    f"preferred server {pref!r} does not replicate {partition!r}"
+                )
+
+    @property
+    def partition_ids(self) -> list[str]:
+        return list(self.partitions)
+
+    def servers_of(self, partition: str) -> list[str]:
+        try:
+            return self.partitions[partition]
+        except KeyError:
+            raise ConfigurationError(f"unknown partition {partition!r}") from None
+
+    def all_servers(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for members in self.partitions.values():
+            for member in members:
+                seen.setdefault(member)
+        return list(seen)
+
+    def preferred_of(self, partition: str) -> str:
+        return self.preferred[partition]
+
+    def partition_of_server(self, server: str) -> str:
+        for partition, members in self.partitions.items():
+            if server in members:
+                return partition
+        raise ConfigurationError(f"{server!r} replicates no partition")
+
+    def nearest_server(self, partition: str, from_node: str) -> str:
+        """The replica of ``partition`` closest to ``from_node``.
+
+        Uses topology proximity when placement is known; otherwise falls
+        back to the preferred server.  This is how a global transaction
+        reads a remote partition within 2δ (paper §IV-B): the co-located
+        replica answers rather than a cross-region one.
+        """
+        return self.ranked_servers(partition, from_node)[0]
+
+    def ranked_servers(self, partition: str, from_node: str) -> list[str]:
+        """All replicas of ``partition``, nearest first (for read failover)."""
+        members = self.servers_of(partition)
+        if len(self.topology) == 0 or from_node not in self.topology:
+            preferred = self.preferred_of(partition)
+            return [preferred] + [m for m in members if m != preferred]
+        return self.topology.sort_by_proximity(from_node, members)
+
+    def servers_union(self, partitions: tuple[str, ...] | list[str]) -> list[str]:
+        """All servers replicating any of ``partitions`` (deduplicated)."""
+        seen: dict[str, None] = {}
+        for partition in partitions:
+            for member in self.servers_of(partition):
+                seen.setdefault(member)
+        return list(seen)

@@ -1,0 +1,179 @@
+"""SDUR wire protocol.
+
+Three kinds of traffic:
+
+* client ↔ server — reads, snapshot vectors, commit requests, outcomes;
+* values inside per-partition atomic broadcast — transaction projections,
+  no-op ticks (liveness for the reorder threshold), abort requests
+  (recovery), threshold changes;
+* server ↔ server — certification votes for global transactions and the
+  gossip that builds globally-consistent snapshot vectors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.transaction import TxnId, TxnProjection
+from repro.net.message import Message, message
+
+# ----------------------------------------------------------------------
+# Client <-> server
+# ----------------------------------------------------------------------
+
+
+@message
+@dataclass(frozen=True)
+class ReadRequest(Message):
+    """Read ``key`` at ``snapshot`` (``None`` = establish the snapshot)."""
+
+    tid: TxnId
+    op_id: int
+    key: str
+    snapshot: int | None
+    #: Node to send the response to (the client, even for routed reads).
+    reply_to: str
+
+
+@message
+@dataclass(frozen=True)
+class ReadResponse(Message):
+    """Value of ``key`` plus the snapshot the partition pinned for us."""
+
+    tid: TxnId
+    op_id: int
+    key: str
+    value: Any
+    #: Snapshot counter the read executed at (Algorithm 2 line 8).
+    snapshot: int
+    #: Version tag of the returned value (for the serializability checker).
+    item_version: int
+    partition: str
+    #: Set when the read failed (e.g. snapshot older than retained history).
+    error: str | None = None
+
+
+@message
+@dataclass(frozen=True)
+class GetSnapshotVector(Message):
+    """Ask a server for its current globally-consistent snapshot vector."""
+
+    tid: TxnId
+    reply_to: str
+
+
+@message
+@dataclass(frozen=True)
+class SnapshotVectorReply(Message):
+    """A consistent vector of per-partition snapshot counters."""
+
+    tid: TxnId
+    vector: dict[str, int]
+
+
+@message
+@dataclass(frozen=True)
+class CommitRequest(Message):
+    """Client's termination request (Figure 1 message ①)."""
+
+    tid: TxnId
+    projections: dict[str, TxnProjection]
+
+
+@message
+@dataclass(frozen=True)
+class OutcomeNotice(Message):
+    """Server → client: the transaction's fate (Figure 1 message ⑦)."""
+
+    tid: TxnId
+    outcome: str  # Outcome.value
+    partition: str
+
+
+# ----------------------------------------------------------------------
+# Atomic-broadcast values (delivered in partition order)
+# ----------------------------------------------------------------------
+
+
+@message
+@dataclass(frozen=True)
+class NoopTick(Message):
+    """Advances the delivered-transactions counter when a partition idles.
+
+    The reorder threshold counts delivered transactions (Algorithm 2
+    line 29); without traffic a pending global could wait forever, so the
+    partition leader broadcasts ticks while globals are pending.
+    """
+
+
+@message
+@dataclass(frozen=True)
+class AbortRequest(Message):
+    """Recovery: ask a partition to abort ``tid`` if not yet delivered.
+
+    If the submitting server crashes mid-broadcast, partition ``p`` may
+    deliver the transaction while ``p'`` never does.  A server in ``p``
+    abcasts this to ``p'``; atomic broadcast guarantees all servers in
+    ``p'`` see the same first-of-{transaction, abort-request} and act
+    identically (paper §IV-F).
+    """
+
+    tid: TxnId
+    #: Partition being asked to abort (the broadcast's target group).
+    partition: str
+    #: Partition whose servers suspected the loss.
+    requester: str
+    #: All partitions the transaction involves (for abort-vote fan-out).
+    involved: tuple[str, ...] = ()
+    #: Client to notify if the abort request wins the race.
+    client: str = ""
+
+
+@message
+@dataclass(frozen=True)
+class ThresholdChange(Message):
+    """Replicas change the reorder threshold by broadcasting a new value."""
+
+    value: int
+
+
+# ----------------------------------------------------------------------
+# Server <-> server
+# ----------------------------------------------------------------------
+
+
+@message
+@dataclass(frozen=True)
+class Vote(Message):
+    """A partition's certification verdict for a global transaction."""
+
+    tid: TxnId
+    partition: str
+    vote: str  # Outcome.value
+
+
+@message
+@dataclass(frozen=True)
+class CommitGossip(Message):
+    """Snapshot-vector gossip: recent commit points of one partition.
+
+    ``sc`` is the sender partition's snapshot counter; ``globals_committed``
+    lists ``(tid, version, partitions)`` for recently committed *global*
+    transactions, which the snapshot builder needs to avoid publishing a
+    vector that splits a global transaction's atomicity.
+
+    ``complete_from`` declares the completeness contract: the list contains
+    **every** global commit of this partition with version in
+    ``(complete_from, sc]``.  A receiver may only treat versions up to
+    ``sc`` as safely summarized if its own completeness watermark already
+    covers ``complete_from`` — otherwise an un-listed old global could be
+    silently included and split.
+    """
+
+    partition: str
+    sc: int
+    globals_committed: tuple[tuple[TxnId, int, tuple[str, ...]], ...] = field(
+        default_factory=tuple
+    )
+    complete_from: int = 0

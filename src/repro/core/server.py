@@ -1,0 +1,781 @@
+"""The SDUR server protocol core (Algorithm 2 of the paper).
+
+One :class:`SdurServer` runs at every server node.  It owns the node's
+slice of the database (the multiversion store of its partition), the
+certification window (``DB``), the pending list (``PL``), the snapshot
+counter (``SC``) and the delivered-transactions counter (``DC``), and
+reacts to:
+
+* client reads (serving snapshot reads, routing cross-partition ones),
+* client commit requests (the ``submit`` procedure, including the
+  *delaying* extension of §IV-D),
+* atomic-broadcast deliveries of transaction projections (certification,
+  the *reordering* extension of §IV-E, and completion),
+* votes from other partitions (global-transaction termination),
+* the recovery abort-request broadcast (§IV-F),
+* snapshot-vector gossip for read-only transactions.
+
+Determinism note: everything that affects commit *order* — certification,
+reordering, threshold bookkeeping — depends only on the delivery sequence
+and on vote contents, never on vote arrival times, which is the invariant
+behind the paper's correctness argument (§IV-G) and is exercised by the
+``test_determinism`` property tests.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from collections.abc import Callable
+from typing import Any
+
+from repro.consensus.abcast import AbcastFabric
+from repro.core.certifier import (
+    CertificationWindow,
+    CommittedRecord,
+    find_reorder_position,
+    outcome_conflicts,
+)
+from repro.core.checkpoint import (
+    CheckpointReply,
+    CheckpointRequest,
+    ServerCheckpoint,
+    window_from_wire,
+    window_to_wire,
+)
+from repro.core.config import DelayMode, SdurConfig
+from repro.core.directory import ClusterDirectory
+from repro.core.messages import (
+    AbortRequest,
+    CommitGossip,
+    CommitRequest,
+    GetSnapshotVector,
+    NoopTick,
+    OutcomeNotice,
+    ReadRequest,
+    ReadResponse,
+    SnapshotVectorReply,
+    ThresholdChange,
+    Vote,
+)
+from repro.core.partitioning import PartitionMap
+from repro.core.pending import PendingList, PendingTxn
+from repro.core.snapshots import GlobalSnapshotBuilder
+from repro.core.transaction import Outcome, TxnId, TxnProjection
+from repro.errors import ConfigurationError, ProtocolError, SnapshotTooOldError
+from repro.runtime.base import Runtime
+from repro.storage.mvstore import MultiVersionStore
+
+
+class ServerStats:
+    """Counters a server accumulates (read by the experiment harness)."""
+
+    def __init__(self) -> None:
+        self.committed_local = 0
+        self.committed_global = 0
+        self.aborted_certification = 0
+        self.aborted_stale_snapshot = 0
+        self.aborted_reorder = 0
+        self.aborted_votes = 0
+        self.aborted_recovery = 0
+        self.aborted_deferred = 0
+        self.deferred = 0
+        self.reordered = 0
+        self.noops_sent = 0
+        self.checkpoints = 0
+        self.reads_served = 0
+        self.reads_routed = 0
+
+    @property
+    def committed(self) -> int:
+        return self.committed_local + self.committed_global
+
+    @property
+    def aborted(self) -> int:
+        return (
+            self.aborted_certification
+            + self.aborted_stale_snapshot
+            + self.aborted_reorder
+            + self.aborted_votes
+            + self.aborted_recovery
+            + self.aborted_deferred
+        )
+
+
+class SdurServer:
+    """Algorithm 2: the server side of geo-SDUR for one partition replica."""
+
+    def __init__(
+        self,
+        runtime: Runtime,
+        partition: str,
+        directory: ClusterDirectory,
+        partition_map: PartitionMap,
+        fabric: AbcastFabric,
+        config: SdurConfig | None = None,
+        initial_data: dict[str, Any] | None = None,
+    ) -> None:
+        self.runtime = runtime
+        self.partition = partition
+        self.directory = directory
+        self.partition_map = partition_map
+        self.fabric = fabric
+        self.config = config or SdurConfig()
+        self.store = MultiVersionStore()
+        if initial_data:
+            self.store.seed(initial_data)
+        self.window = CertificationWindow(self.config.history_window)
+        self.pending = PendingList()
+        #: Delivered-transactions counter (Algorithm 2's ``DC``).
+        self.dc = 0
+        #: Current reorder threshold (changeable via ThresholdChange).
+        self.reorder_threshold = self.config.reorder_threshold
+        #: Votes that arrived before their transaction was delivered.
+        self._vote_buffer: dict[TxnId, dict[str, str]] = {}
+        #: Recently completed transactions (tid -> outcome), bounded.
+        self._completed: OrderedDict[TxnId, str] = OrderedDict()
+        self._completed_limit = 4 * self.config.history_window
+        #: Transactions killed by an abort-request before delivery
+        #: (insertion-ordered so the backlog can be bounded).
+        self._aborted_early: OrderedDict[TxnId, None] = OrderedDict()
+        #: Reads waiting for this replica to catch up to their snapshot.
+        self._waiting_reads: list[tuple[int, str, ReadRequest]] = []
+        #: Deliveries stalled behind a blocked head global (see _head_blocked).
+        self._stalled: deque[Any] = deque()
+        self._applying = False
+        self._noop_armed = False
+        self.snapshot_builder = GlobalSnapshotBuilder(
+            directory.partition_ids, partition, history=self.config.gossip_history
+        )
+        #: Injected by the harness: is this node its partition's leader?
+        self.is_partition_leader: Callable[[], bool] = lambda: True
+        #: Optional hook ``(tid, partition, version, proj)`` called on every
+        #: local commit; the history checker uses it.
+        self.on_commit_hook: Callable[[TxnId, str, int, TxnProjection], None] | None = None
+        #: Called with the first uncovered instance after each checkpoint
+        #: (the harness wires it to the Paxos replica's WAL compaction).
+        self.checkpoint_hook: Callable[[int], None] | None = None
+        #: Latest serialized checkpoint (served to state-transfer requests).
+        self.latest_checkpoint: bytes | None = None
+        #: Highest broadcast instance ingested (checkpoint coverage bound).
+        self._last_instance = -1
+        self.stats = ServerStats()
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def node_id(self) -> str:
+        return self.runtime.node_id
+
+    @property
+    def sc(self) -> int:
+        """Snapshot counter (``SC``): version of the latest applied commit."""
+        return self.store.current_version
+
+    def start(self) -> None:
+        """Arm periodic duties (snapshot gossip, version GC)."""
+        if self._started:
+            return
+        self._started = True
+        if self.config.gossip_interval is not None and len(self.directory.partition_ids) > 1:
+            self.runtime.set_timer(self.config.gossip_interval, self._gossip_tick)
+        if self.config.store_gc_interval is not None:
+            self.runtime.set_timer(self.config.store_gc_interval, self._gc_tick)
+        if self.config.checkpoint_interval is not None:
+            self.runtime.set_timer(self.config.checkpoint_interval, self._checkpoint_tick)
+
+    def _gc_tick(self) -> None:
+        """Drop versions older than the retention window (§V keeps only
+        the last K certification records; the store mirrors that)."""
+        horizon = self.sc - self.config.store_gc_keep
+        if horizon > self.store.gc_horizon:
+            dropped = self.store.collect_garbage(horizon)
+            self.runtime.trace("sdur.gc", horizon=horizon, dropped=dropped)
+        self.runtime.set_timer(self.config.store_gc_interval, self._gc_tick)
+
+    def _gossip_tick(self) -> None:
+        payload = self.snapshot_builder.gossip_payload()
+        own = set(self.directory.servers_of(self.partition))
+        for server in self.directory.all_servers():
+            if server not in own:
+                self.runtime.send(server, payload)
+        self.runtime.set_timer(self.config.gossip_interval, self._gossip_tick)
+
+    # ------------------------------------------------------------------
+    # Message entry point
+    # ------------------------------------------------------------------
+    def handle(self, src: str, msg: Any) -> bool:
+        """Dispatch one SDUR message; False if the type is not ours."""
+        if isinstance(msg, ReadRequest):
+            self._on_read(src, msg)
+        elif isinstance(msg, CommitRequest):
+            self.submit(msg)
+        elif isinstance(msg, Vote):
+            self._on_vote(src, msg)
+        elif isinstance(msg, GetSnapshotVector):
+            vector = self.snapshot_builder.vector()
+            self.runtime.send(msg.reply_to, SnapshotVectorReply(tid=msg.tid, vector=vector))
+        elif isinstance(msg, CommitGossip):
+            self.snapshot_builder.on_gossip(msg)
+        elif isinstance(msg, CheckpointRequest):
+            self.runtime.send(
+                msg.reply_to,
+                CheckpointReply(partition=self.partition, blob=self.latest_checkpoint),
+            )
+        else:
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Reads (Algorithm 2 lines 7–10)
+    # ------------------------------------------------------------------
+    def _on_read(self, src: str, msg: ReadRequest) -> None:
+        key_partition = self.partition_map.partition_of(msg.key)
+        if key_partition != self.partition:
+            # Prototype routing (§V): forward to the nearest replica of the
+            # right partition; it replies directly to the client.
+            self.stats.reads_routed += 1
+            target = self.directory.nearest_server(key_partition, self.node_id)
+            self.runtime.send(target, msg)
+            return
+        self.runtime.execute(self.config.costs.read, lambda: self._serve_read(msg))
+
+    def _serve_read(self, msg: ReadRequest) -> None:
+        snapshot = msg.snapshot if msg.snapshot is not None else self.sc
+        if snapshot > self.sc:
+            # This replica lags the snapshot the client pinned elsewhere;
+            # answer once the partition catches up.
+            self._waiting_reads.append((snapshot, msg.reply_to, msg))
+            return
+        try:
+            item = self.store.read(msg.key, snapshot)
+        except SnapshotTooOldError as exc:
+            response = ReadResponse(
+                tid=msg.tid,
+                op_id=msg.op_id,
+                key=msg.key,
+                value=None,
+                snapshot=snapshot,
+                item_version=0,
+                partition=self.partition,
+                error=str(exc),
+            )
+            self.runtime.send(msg.reply_to, response)
+            return
+        self.stats.reads_served += 1
+        self.runtime.send(
+            msg.reply_to,
+            ReadResponse(
+                tid=msg.tid,
+                op_id=msg.op_id,
+                key=msg.key,
+                value=item.value,
+                snapshot=snapshot,
+                item_version=item.version,
+                partition=self.partition,
+            ),
+        )
+
+    def _drain_waiting_reads(self) -> None:
+        if not self._waiting_reads:
+            return
+        still_waiting = []
+        ready = []
+        for snapshot, reply_to, msg in self._waiting_reads:
+            if snapshot <= self.sc:
+                ready.append(msg)
+            else:
+                still_waiting.append((snapshot, reply_to, msg))
+        self._waiting_reads = still_waiting
+        for msg in ready:
+            self._serve_read(msg)
+
+    # ------------------------------------------------------------------
+    # Submit (Algorithm 2 lines 41–45, with delaying)
+    # ------------------------------------------------------------------
+    def submit(self, request: CommitRequest) -> None:
+        """Broadcast each projection to its partition, delaying the local
+        broadcast of a global transaction when the technique is enabled."""
+        projections = request.projections
+        remote = [p for p in projections if p != self.partition]
+        for partition in remote:
+            self.fabric.abcast(partition, projections[partition])
+        local_proj = projections.get(self.partition)
+        if local_proj is None:
+            return
+        delay = self._local_broadcast_delay(remote) if remote else 0.0
+        if delay > 0:
+            self.runtime.set_timer(
+                delay, lambda: self.fabric.abcast(self.partition, local_proj)
+            )
+        else:
+            self.fabric.abcast(self.partition, local_proj)
+
+    def _local_broadcast_delay(self, remote_partitions: list[str]) -> float:
+        mode = self.config.delay_mode
+        if mode is DelayMode.OFF:
+            return 0.0
+        if mode is DelayMode.FIXED:
+            return self.config.delay_fixed
+        # AUTO: max estimated delay to reach each remote coordinator
+        # (Algorithm 2 line 44).
+        return max(
+            self.runtime.latency_estimate(self.directory.preferred_of(partition))
+            for partition in remote_partitions
+        )
+
+    # ------------------------------------------------------------------
+    # Delivery (Algorithm 2 lines 15–22)
+    # ------------------------------------------------------------------
+    def on_adeliver(self, instance: int, value: Any) -> None:
+        """Callback wired to this partition's Paxos replica."""
+        self._last_instance = max(self._last_instance, instance)
+        cost = self.config.costs.certify if isinstance(value, TxnProjection) else 0.0
+        self.runtime.execute(cost, lambda: self._ingest(value))
+
+    def _gate_blocks(self, value: Any) -> bool:
+        """Must this delivery wait for the store to reach its snapshot?
+
+        Certification is deterministic only if, when a transaction is
+        certified, everything its snapshot observed has already been
+        applied here — otherwise one replica checks an old commit via the
+        certification window while another still sees it pending, and
+        their verdicts can diverge.  The gate only ever waits for
+        transactions that are already globally decided (their commit was
+        visible to the snapshot), so it cannot deadlock.
+        """
+        return isinstance(value, TxnProjection) and value.snapshot > self.sc
+
+    def _ingest(self, value: Any) -> None:
+        if self._applying or self._stalled or self._gate_blocks(value):
+            self._stalled.append(value)
+            return
+        self._process_value(value)
+        self._pump()
+
+    def _process_value(self, value: Any) -> None:
+        if isinstance(value, TxnProjection):
+            self._deliver_txn(value)
+        elif isinstance(value, NoopTick):
+            self._deliver_noop()
+        elif isinstance(value, AbortRequest):
+            self._deliver_abort_request(value)
+        elif isinstance(value, ThresholdChange):
+            self._deliver_threshold_change(value)
+        else:
+            raise ProtocolError(f"unexpected broadcast value {type(value).__name__}")
+
+    def _pump(self) -> None:
+        """Complete ready heads and flush gated deliveries, repeatedly."""
+        while True:
+            self._drain()
+            if self._applying or not self._stalled:
+                return
+            if self._gate_blocks(self._stalled[0]):
+                return
+            self._process_value(self._stalled.popleft())
+
+    def _deliver_noop(self) -> None:
+        self.dc += 1
+        self._drain()
+
+    def _deliver_threshold_change(self, msg: ThresholdChange) -> None:
+        self.reorder_threshold = msg.value
+
+    def request_threshold_change(self, value: int) -> None:
+        """Broadcast a new reorder threshold to this partition (§IV-E)."""
+        self.fabric.abcast(self.partition, ThresholdChange(value=value))
+
+    def _deliver_txn(self, proj: TxnProjection) -> None:
+        self.dc += 1
+        tid = proj.tid
+        if tid in self._completed or tid in self.pending:
+            return  # duplicate delivery (e.g. client retry); ignore
+        if tid in self._aborted_early:
+            # An abort-request won the race (§IV-F): never certify.
+            del self._aborted_early[tid]
+            self._finish_aborted(proj, self.stats_bucket("recovery"))
+            self._drain()
+            return
+        rt = self.dc + self.reorder_threshold
+        verdict = self.window.certify(proj)
+        if verdict is None:
+            self._finish_aborted(proj, self.stats_bucket("stale"))
+            self._drain()
+            return
+        if not verdict:
+            self._finish_aborted(proj, self.stats_bucket("certification"))
+            self._drain()
+            return
+        deps = set(outcome_conflicts(proj, self.pending))
+        entry = PendingTxn(
+            proj=proj, rt=rt, delivered_at=self.runtime.now(), deps=deps
+        )
+        if deps:
+            # Verdict depends on whether the conflicting pending entries
+            # commit; defer (append — no reorder leap for deferred txns).
+            self.stats.deferred += 1
+            self.pending.append(entry)
+            self._arm_vote_timeout(entry)
+            self._arm_noop_ticker()
+            self._drain()
+            return
+        if proj.is_global:
+            entry.votes[self.partition] = Outcome.COMMIT.value
+            buffered = self._vote_buffer.pop(tid, None)
+            if buffered:
+                for partition, vote in buffered.items():
+                    entry.votes.setdefault(partition, vote)
+            self.pending.append(entry)
+            self._send_votes(proj, Outcome.COMMIT)
+            self._arm_vote_timeout(entry)
+            self._arm_noop_ticker()
+        else:
+            position = find_reorder_position(proj, self.pending, self.dc)
+            if position is None:
+                self._finish_aborted(proj, self.stats_bucket("reorder"))
+                self._drain()
+                return
+            if position < len(self.pending):
+                self.stats.reordered += 1
+                self.runtime.trace("sdur.reorder", tid=str(tid), position=position)
+            entry.votes[self.partition] = Outcome.COMMIT.value
+            self.pending.insert(position, entry)
+        self._drain()
+
+    # ------------------------------------------------------------------
+    # Deferred-verdict resolution
+    # ------------------------------------------------------------------
+    def _resolve_dependents(self, resolved_tid: TxnId, committed: bool) -> None:
+        """Propagate the outcome of ``resolved_tid`` to entries deferred
+        on it.  If it committed, their conflict is real and they are
+        doomed; if it aborted, the dependency evaporates.  Doomed entries
+        stay in the pending list until they reach the head, so relative
+        commit order is independent of when votes arrive."""
+        worklist: list[tuple[TxnId, bool]] = [(resolved_tid, committed)]
+        while worklist:
+            source_tid, source_committed = worklist.pop()
+            for entry in list(self.pending):
+                if source_tid not in entry.deps or entry.doomed:
+                    continue
+                entry.deps.discard(source_tid)
+                if source_committed:
+                    self._doom(entry)
+                    worklist.append((entry.tid, False))
+                elif not entry.deps:
+                    self._decide_deferred(entry)
+
+    def _doom(self, entry: PendingTxn) -> None:
+        """Mark a pending entry as certain to abort; vote abort now."""
+        entry.doomed = True
+        entry.deps.clear()
+        entry.votes[self.partition] = Outcome.ABORT.value
+        if entry.proj.is_global:
+            self._send_votes(entry.proj, Outcome.ABORT)
+        self.runtime.trace("sdur.doomed", tid=str(entry.tid))
+
+    def _decide_deferred(self, entry: PendingTxn) -> None:
+        """All dependencies aborted: the deferred certification passes."""
+        entry.votes[self.partition] = Outcome.COMMIT.value
+        if entry.proj.is_global:
+            buffered = self._vote_buffer.pop(entry.tid, None)
+            if buffered:
+                for partition, vote in buffered.items():
+                    entry.votes.setdefault(partition, vote)
+            self._send_votes(entry.proj, Outcome.COMMIT)
+
+    def stats_bucket(self, kind: str) -> str:
+        """Record an abort in its stats bucket; returns ``kind`` back."""
+        if kind == "certification":
+            self.stats.aborted_certification += 1
+        elif kind == "stale":
+            self.stats.aborted_stale_snapshot += 1
+        elif kind == "reorder":
+            self.stats.aborted_reorder += 1
+        elif kind == "votes":
+            self.stats.aborted_votes += 1
+        elif kind == "recovery":
+            self.stats.aborted_recovery += 1
+        elif kind == "deferred":
+            self.stats.aborted_deferred += 1
+        return kind
+
+    def _finish_aborted(self, proj: TxnProjection, reason: str) -> None:
+        """Complete a transaction that failed before entering the pending list."""
+        self._record_completed(proj.tid, Outcome.ABORT)
+        if proj.is_global:
+            self._send_votes(proj, Outcome.ABORT)
+        self._notify_client(proj, Outcome.ABORT)
+        self.runtime.trace("sdur.abort", tid=str(proj.tid), reason=reason)
+
+    # ------------------------------------------------------------------
+    # Votes (Algorithm 2 lines 13–14, 21–22)
+    # ------------------------------------------------------------------
+    def _send_votes(self, proj: TxnProjection, outcome: Outcome) -> None:
+        vote = Vote(tid=proj.tid, partition=self.partition, vote=outcome.value)
+        for partition in proj.other_partitions():
+            for server in self.directory.servers_of(partition):
+                self.runtime.send(server, vote)
+
+    def _on_vote(self, src: str, msg: Vote) -> None:
+        entry = self.pending.get(msg.tid)
+        if entry is not None:
+            entry.votes.setdefault(msg.partition, msg.vote)
+            self._pump()
+            return
+        if msg.tid in self._completed:
+            return
+        self._vote_buffer.setdefault(msg.tid, {}).setdefault(msg.partition, msg.vote)
+
+    # ------------------------------------------------------------------
+    # Completion (Algorithm 2 lines 23–40)
+    # ------------------------------------------------------------------
+    def _drain(self) -> None:
+        """Complete head transactions while they are ready."""
+        while not self._applying:
+            head = self.pending.head()
+            if head is None:
+                return
+            if head.doomed:
+                self._begin_complete(head, Outcome.ABORT)
+                continue
+            if head.undecided:
+                # Deps are always earlier entries; they must have resolved
+                # by the time this one reaches the head.
+                raise ProtocolError(f"{head.tid} at head with unresolved deps")
+            if head.proj.is_local:
+                self._begin_complete(head, Outcome.COMMIT)
+                continue
+            if head.has_all_votes() and self.dc >= head.rt:
+                self._begin_complete(head, head.decided_outcome())
+                continue
+            return
+
+    def _begin_complete(self, entry: PendingTxn, outcome: Outcome) -> None:
+        """Apply-cost-aware completion of the pending-list head."""
+        cost = self.config.costs.apply if outcome is Outcome.COMMIT else 0.0
+        if cost > 0:
+            self._applying = True
+
+            def finish() -> None:
+                self._applying = False
+                self._complete(entry, outcome)
+                self._pump()
+
+            self.runtime.execute(cost, finish)
+        else:
+            self._complete(entry, outcome)
+
+    def _complete(self, entry: PendingTxn, outcome: Outcome) -> None:
+        """The ``complete`` function (Algorithm 2 lines 34–40)."""
+        head = self.pending.head()
+        if head is not entry:
+            raise ProtocolError(f"completing {entry.tid} which is not the head")
+        self.pending.pop_head()
+        proj = entry.proj
+        if outcome is Outcome.COMMIT:
+            version = self.sc + 1
+            self.store.apply(proj.writeset, version)
+            self.window.add(
+                CommittedRecord(
+                    tid=proj.tid,
+                    version=version,
+                    readset=proj.readset,
+                    ws_keys=proj.ws_keys,
+                    is_global=proj.is_global,
+                )
+            )
+            self.snapshot_builder.on_local_commit(
+                proj.tid, version, proj.partitions, proj.is_global
+            )
+            if self.on_commit_hook is not None:
+                self.on_commit_hook(proj.tid, self.partition, version, proj)
+            if proj.is_global:
+                self.stats.committed_global += 1
+            else:
+                self.stats.committed_local += 1
+            self.runtime.trace(
+                "sdur.commit", tid=str(proj.tid), version=version, is_global=proj.is_global
+            )
+        else:
+            self.stats_bucket("deferred" if entry.doomed else "votes")
+            self.runtime.trace("sdur.abort", tid=str(proj.tid), reason="votes")
+        self._record_completed(proj.tid, outcome)
+        self._vote_buffer.pop(proj.tid, None)
+        self._notify_client(proj, outcome)
+        self._resolve_dependents(proj.tid, committed=outcome is Outcome.COMMIT)
+        self._drain_waiting_reads()
+
+    def _record_completed(self, tid: TxnId, outcome: Outcome) -> None:
+        self._completed[tid] = outcome.value
+        while len(self._completed) > self._completed_limit:
+            self._completed.popitem(last=False)
+
+    def _notify_client(self, proj: TxnProjection, outcome: Outcome) -> None:
+        if proj.client and self._should_notify(proj):
+            self.runtime.send(
+                proj.client,
+                OutcomeNotice(tid=proj.tid, outcome=outcome.value, partition=self.partition),
+            )
+
+    def _should_notify(self, proj: TxnProjection) -> bool:
+        """Exactly one server answers the client (Figure 1's message ⑦).
+
+        The coordinator (the server the client sent its commit to)
+        replies when its own partition completes; if the coordinator
+        replicates none of the involved partitions, the preferred server
+        of the first involved partition replies instead.  With
+        ``notify_all_replicas`` every completing server replies, which
+        failure tests use so a crashed coordinator cannot mute outcomes.
+        """
+        if self.config.notify_all_replicas:
+            return True
+        coordinator = proj.coordinator
+        if coordinator:
+            try:
+                coord_partition = self.directory.partition_of_server(coordinator)
+            except ConfigurationError:
+                coord_partition = None
+            if coord_partition is not None and coord_partition in proj.partitions:
+                return self.node_id == coordinator
+        return self.node_id == self.directory.preferred_of(min(proj.partitions))
+
+    # ------------------------------------------------------------------
+    # Liveness: no-op ticks for the reorder threshold
+    # ------------------------------------------------------------------
+    def _threshold_blocked(self) -> bool:
+        return any(entry.rt > self.dc for entry in self.pending.globals_pending())
+
+    def _arm_noop_ticker(self) -> None:
+        if (
+            self._noop_armed
+            or self.reorder_threshold <= 0
+            or self.config.noop_interval is None
+        ):
+            return
+        if not self._threshold_blocked():
+            return
+        self._noop_armed = True
+        self.runtime.set_timer(self.config.noop_interval, self._noop_tick)
+
+    def _noop_tick(self) -> None:
+        self._noop_armed = False
+        if not self._threshold_blocked():
+            return
+        if self.is_partition_leader():
+            self.fabric.abcast(self.partition, NoopTick())
+            self.stats.noops_sent += 1
+        self._noop_armed = True
+        self.runtime.set_timer(self.config.noop_interval, self._noop_tick)
+
+    # ------------------------------------------------------------------
+    # Checkpointing (bounded recovery; see repro.core.checkpoint)
+    # ------------------------------------------------------------------
+    def _quiescent(self) -> bool:
+        return not self.pending and not self._stalled and not self._applying
+
+    def _checkpoint_tick(self) -> None:
+        if self._quiescent() and self.sc > 0:
+            self.take_checkpoint()
+        self.runtime.set_timer(self.config.checkpoint_interval, self._checkpoint_tick)
+
+    def take_checkpoint(self) -> ServerCheckpoint:
+        """Capture delivery-path state; requires a quiescent point."""
+        if not self._quiescent():
+            raise ProtocolError("checkpoint requires an empty pending list")
+        checkpoint = ServerCheckpoint(
+            partition=self.partition,
+            next_instance=self._last_instance + 1,
+            sc=self.sc,
+            dc=self.dc,
+            reorder_threshold=self.reorder_threshold,
+            chains={
+                key: tuple(chain) for key, chain in self.store.dump().items()
+            },
+            gc_horizon=self.store.gc_horizon,
+            window=window_to_wire(self.window),
+            window_floor=self.window.floor,
+        )
+        self.latest_checkpoint = checkpoint.to_bytes()
+        self.stats.checkpoints += 1
+        self.runtime.trace(
+            "sdur.checkpoint", next_instance=checkpoint.next_instance, sc=checkpoint.sc
+        )
+        if self.checkpoint_hook is not None:
+            self.checkpoint_hook(checkpoint.next_instance)
+        return checkpoint
+
+    def restore_checkpoint(self, checkpoint: ServerCheckpoint | bytes) -> None:
+        """Install a checkpoint into a freshly constructed server.
+
+        Must run before the Paxos replica replays its WAL suffix (the
+        harness and tests order it so); the replica's delivery cursor
+        must be advanced to ``checkpoint.next_instance`` separately when
+        recovering without a compacted WAL (state transfer).
+        """
+        if isinstance(checkpoint, (bytes, bytearray)):
+            checkpoint = ServerCheckpoint.from_bytes(bytes(checkpoint))
+        if checkpoint.partition != self.partition:
+            raise ProtocolError(
+                f"checkpoint is for {checkpoint.partition!r}, not {self.partition!r}"
+            )
+        if self.sc != 0 or self.dc != 0 or len(self.pending):
+            raise ProtocolError("restore_checkpoint requires a fresh server")
+        self.store.restore(
+            {key: list(chain) for key, chain in checkpoint.chains.items()},
+            current_version=checkpoint.sc,
+            gc_horizon=checkpoint.gc_horizon,
+        )
+        self.dc = checkpoint.dc
+        self.reorder_threshold = checkpoint.reorder_threshold
+        self.window = window_from_wire(
+            checkpoint.window, self.config.history_window, checkpoint.window_floor
+        )
+        self._last_instance = checkpoint.next_instance - 1
+        self.latest_checkpoint = checkpoint.to_bytes()
+
+    # ------------------------------------------------------------------
+    # Recovery: abort requests (§IV-F)
+    # ------------------------------------------------------------------
+    def _arm_vote_timeout(self, entry: PendingTxn) -> None:
+        if self.config.vote_timeout is None:
+            return
+
+        def fire() -> None:
+            current = self.pending.get(entry.tid)
+            if current is None or current.has_all_votes():
+                return
+            for partition in current.missing_votes():
+                if partition == self.partition:
+                    continue
+                self.fabric.abcast(
+                    partition,
+                    AbortRequest(
+                        tid=current.tid,
+                        partition=partition,
+                        requester=self.partition,
+                        involved=current.proj.partitions,
+                        client=current.proj.client,
+                    ),
+                )
+            self.runtime.trace("sdur.abort_request", tid=str(entry.tid))
+            self.runtime.set_timer(self.config.vote_timeout, fire)
+
+        self.runtime.set_timer(self.config.vote_timeout, fire)
+
+    def _deliver_abort_request(self, msg: AbortRequest) -> None:
+        tid = msg.tid
+        if tid in self._completed or tid in self.pending or tid in self._aborted_early:
+            # The transaction arrived first: the request loses the race.
+            return
+        self._aborted_early[tid] = None
+        while len(self._aborted_early) > self._completed_limit:
+            self._aborted_early.popitem(last=False)
+        # Vote abort on behalf of this partition so the requester completes.
+        vote = Vote(tid=tid, partition=self.partition, vote=Outcome.ABORT.value)
+        own = set(self.directory.servers_of(self.partition))
+        for partition in msg.involved:
+            for server in self.directory.servers_of(partition):
+                if server not in own:
+                    self.runtime.send(server, vote)

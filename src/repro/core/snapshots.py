@@ -1,0 +1,167 @@
+"""Asynchronously built globally-consistent snapshot vectors.
+
+Read-only transactions in SDUR "execute against a globally-consistent
+snapshot and commit without certification"; such snapshots "are built
+asynchronously by servers" and "may observe an outdated database"
+(paper §III-A).  This module is that builder.
+
+A snapshot *vector* assigns each partition ``p`` a version ``V[p]``; a
+read-only transaction reads every key at its partition's vector entry.
+The vector is **consistent** when it never splits a committed global
+transaction: for every global ``t`` and partitions ``p, q`` it involves,
+``t`` visible at ``p`` (``commit_version(t, p) <= V[p]``) implies ``t``
+visible at ``q``.
+
+Construction: servers gossip their partition's snapshot counter and the
+commit versions of recently committed global transactions
+(:class:`~repro.core.messages.CommitGossip`).  Each server independently
+starts from the latest counters it knows and *lowers* entries until no
+global transaction is split — lowering is always safe (it can only make
+the snapshot more outdated, never inconsistent) and converges because
+versions are bounded below.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.core.messages import CommitGossip
+from repro.core.transaction import TxnId
+from repro.errors import ConfigurationError
+
+
+class GlobalSnapshotBuilder:
+    """One server's view of the global snapshot frontier."""
+
+    def __init__(self, partitions: list[str], own_partition: str, history: int = 256) -> None:
+        if own_partition not in partitions:
+            raise ConfigurationError(f"{own_partition!r} not in {partitions!r}")
+        self.partitions = list(partitions)
+        self.own_partition = own_partition
+        self.history = history
+        #: Latest *safely usable* snapshot counter per partition: never
+        #: beyond the completeness watermark (see CommitGossip.complete_from).
+        self._known_sc: dict[str, int] = {p: 0 for p in partitions}
+        #: Completeness watermark: all globals of p with version <= this
+        #: are known to this builder.
+        self._complete_through: dict[str, int] = {p: 0 for p in partitions}
+        #: For the own-partition gossip payload: globals below this version
+        #: have been evicted from the retained window.
+        self._evicted_below: dict[str, int] = {p: 0 for p in partitions}
+        #: Recently committed globals per partition: (version, tid), ascending.
+        self._commits: dict[str, deque[tuple[int, TxnId]]] = {p: deque() for p in partitions}
+        #: tid -> {partition: commit version} ∪ {"__involved__": tuple}.
+        self._txn_versions: dict[TxnId, dict[str, int]] = {}
+        self._txn_involved: dict[TxnId, tuple[str, ...]] = {}
+        self._txn_order: deque[TxnId] = deque()
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+    def on_local_commit(
+        self, tid: TxnId, version: int, involved: tuple[str, ...], is_global: bool
+    ) -> None:
+        """Record a commit at this server's own partition."""
+        self._known_sc[self.own_partition] = max(
+            self._known_sc[self.own_partition], version
+        )
+        self._complete_through[self.own_partition] = max(
+            self._complete_through[self.own_partition], version
+        )
+        if is_global:
+            self._record(self.own_partition, version, tid, involved)
+
+    def on_gossip(self, msg: CommitGossip) -> None:
+        if msg.partition not in self._known_sc:
+            return
+        for tid, version, involved in msg.globals_committed:
+            self._record(msg.partition, version, tid, involved)
+        # Advance the completeness watermark only if this payload's range
+        # connects to what we already have, then cap the usable counter at
+        # the watermark: sc beyond it could hide un-listed globals.
+        if msg.complete_from <= self._complete_through[msg.partition]:
+            self._complete_through[msg.partition] = max(
+                self._complete_through[msg.partition], msg.sc
+            )
+        usable = min(msg.sc, self._complete_through[msg.partition])
+        self._known_sc[msg.partition] = max(self._known_sc[msg.partition], usable)
+
+    def _record(self, partition: str, version: int, tid: TxnId, involved: tuple[str, ...]) -> None:
+        versions = self._txn_versions.get(tid)
+        if versions is None:
+            versions = {}
+            self._txn_versions[tid] = versions
+            self._txn_involved[tid] = involved
+            self._txn_order.append(tid)
+            self._evict()
+        if partition in versions:
+            return
+        versions[partition] = version
+        commits = self._commits[partition]
+        if not commits or commits[-1][0] < version:
+            commits.append((version, tid))
+        else:
+            # Out-of-order gossip: insert keeping ascending versions.
+            items = sorted(set(commits) | {(version, tid)})
+            commits.clear()
+            commits.extend(items)
+        while len(commits) > self.history:
+            evicted_version, _ = commits.popleft()
+            self._evicted_below[partition] = max(
+                self._evicted_below[partition], evicted_version
+            )
+
+    def _evict(self) -> None:
+        while len(self._txn_order) > 4 * self.history:
+            tid = self._txn_order.popleft()
+            self._txn_versions.pop(tid, None)
+            self._txn_involved.pop(tid, None)
+
+    # ------------------------------------------------------------------
+    # The gossip payload this server advertises
+    # ------------------------------------------------------------------
+    def gossip_payload(self) -> CommitGossip:
+        recent = tuple(
+            (tid, version, self._txn_involved.get(tid, ()))
+            for version, tid in self._commits[self.own_partition]
+        )
+        return CommitGossip(
+            partition=self.own_partition,
+            sc=self._known_sc[self.own_partition],
+            globals_committed=recent,
+            complete_from=self._evicted_below[self.own_partition],
+        )
+
+    # ------------------------------------------------------------------
+    # Vector construction
+    # ------------------------------------------------------------------
+    def vector(self) -> dict[str, int]:
+        """A consistent snapshot vector from everything known so far.
+
+        Starts at the latest known counters and lowers entries until no
+        retained global transaction is split.  Entries can end up at 0
+        (the initial database) if gossip has not propagated yet — an
+        outdated but consistent view, matching the paper's caveat.
+        """
+        frontier = dict(self._known_sc)
+        changed = True
+        while changed:
+            changed = False
+            for partition in self.partitions:
+                for version, tid in self._commits[partition]:
+                    if version > frontier[partition]:
+                        break
+                    if not self._fully_visible(tid, frontier):
+                        frontier[partition] = version - 1
+                        changed = True
+                        break
+        return frontier
+
+    def _fully_visible(self, tid: TxnId, frontier: dict[str, int]) -> bool:
+        involved = self._txn_involved.get(tid, ())
+        versions = self._txn_versions.get(tid, {})
+        for partition in involved:
+            version = versions.get(partition)
+            if version is None or version > frontier.get(partition, 0):
+                return False
+        return True

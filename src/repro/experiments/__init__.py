@@ -1,0 +1,30 @@
+"""Experiment modules: one per table/figure of the paper.
+
+Every module exposes ``run(quick=False) -> ExperimentTable`` returning
+the rows the paper reports, plus a ``main()`` that prints them.  The
+benchmark files in ``benchmarks/`` are thin pytest-benchmark wrappers
+around these, and ``EXPERIMENTS.md`` records paper-vs-measured for each.
+
+Index (see DESIGN.md for full parameters):
+
+====  ==========================================  =========================
+Id    What                                        Module
+====  ==========================================  =========================
+T1    Figure 1 latency-model table                ``fig1_model``
+F2    Baseline SDUR in WAN 1 / WAN 2              ``fig2_baseline``
+F3    Transaction delaying (WAN 1)                ``fig3_delaying``
+F4    Reordering in WAN 1                         ``fig4_reorder_wan1``
+F5    Reordering in WAN 2                         ``fig5_reorder_wan2``
+F6    Social network application                  ``fig6_social``
+S1    Scalability vs #partitions (DSN 2012)       ``scalability``
+S2    Throughput vs %globals (DSN 2012)           ``scalability``
+S3    Abort rate vs contention (DSN 2012)         ``aborts``
+A1    Bloom-filter certification ablation         ``ablation_bloom``
+A2    Reorder-threshold sweep ablation            ``ablation_threshold``
+A3    Paxos learning strategy ablation            ``ablation_learning``
+====  ==========================================  =========================
+"""
+
+from repro.experiments.common import ExperimentTable, GeoRunResult, run_geo_microbench
+
+__all__ = ["ExperimentTable", "GeoRunResult", "run_geo_microbench"]

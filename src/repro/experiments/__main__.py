@@ -1,0 +1,122 @@
+"""Run the paper's experiments from the command line.
+
+Usage::
+
+    python -m repro.experiments                 # run everything (quick)
+    python -m repro.experiments --full          # paper-scale parameters
+    python -m repro.experiments F2 F4           # selected experiments
+    python -m repro.experiments --list          # show the index
+    python -m repro.experiments --markdown out.md   # also write a report
+
+The markdown report is what ``EXPERIMENTS.md`` is generated from.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from collections.abc import Callable
+
+from repro.experiments import (
+    ablation_batching,
+    ablation_multicast,
+    ext_failover,
+    ablation_bloom,
+    ablation_learning,
+    ablation_threshold,
+    aborts,
+    fig1_model,
+    fig2_baseline,
+    fig3_delaying,
+    fig4_reorder_wan1,
+    fig5_reorder_wan2,
+    fig6_social,
+    scalability,
+)
+from repro.experiments.common import ExperimentTable
+
+#: Experiment id -> (description, runner).
+REGISTRY: dict[str, tuple[str, Callable[[bool], ExperimentTable]]] = {
+    "T1": ("Figure 1 latency-model table", lambda q: fig1_model.run(quick=q)),
+    "F2": ("Baseline SDUR in WAN 1 / WAN 2 (Figure 2)", lambda q: fig2_baseline.run(quick=q)),
+    "F3": ("Transaction delaying in WAN 1 (Figure 3)", lambda q: fig3_delaying.run(quick=q)),
+    "F4": ("Reordering in WAN 1 (Figure 4)", lambda q: fig4_reorder_wan1.run(quick=q)),
+    "F5": ("Reordering in WAN 2 (Figure 5)", lambda q: fig5_reorder_wan2.run(quick=q)),
+    "F6": ("Social network application (Figure 6)", lambda q: fig6_social.run(quick=q)),
+    "S1": ("Scalability vs partitions (DSN 2012)", lambda q: scalability.run_s1(quick=q)),
+    "S2": ("Throughput vs %globals (DSN 2012)", lambda q: scalability.run_s2(quick=q)),
+    "S3": ("Abort rate vs contention (DSN 2012)", lambda q: aborts.run(quick=q)),
+    "A1": ("Bloom-digest certification ablation", lambda q: ablation_bloom.run(quick=q)),
+    "A2": ("Reorder-threshold sweep ablation", lambda q: ablation_threshold.run(quick=q)),
+    "A3": ("Paxos learning-strategy ablation", lambda q: ablation_learning.run(quick=q)),
+    "A4": ("Paxos value-batching ablation", lambda q: ablation_batching.run(quick=q)),
+    "A5": ("SDUR vs genuine atomic multicast", lambda q: ablation_multicast.run(quick=q)),
+    "E1": ("Availability under leader failover", lambda q: ext_failover.run(quick=q)),
+}
+
+
+def to_markdown(tables: list[tuple[ExperimentTable, float]]) -> str:
+    lines = ["# Experiment results", ""]
+    for table, wall in tables:
+        lines.append(f"## {table.experiment_id} — {table.title}")
+        lines.append("")
+        if table.rows:
+            columns = list(table.rows[0])
+            lines.append("| " + " | ".join(columns) + " |")
+            lines.append("|" + "|".join("---" for _ in columns) + "|")
+            for row in table.rows:
+                lines.append(
+                    "| " + " | ".join(str(row.get(col, "")) for col in columns) + " |"
+                )
+        for note in table.notes:
+            lines.append("")
+            lines.append(f"> {note}")
+        lines.append("")
+        lines.append(f"_(wall time: {wall:.0f}s)_")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments", description=__doc__
+    )
+    parser.add_argument("experiments", nargs="*", help="ids to run (default: all)")
+    parser.add_argument("--full", action="store_true", help="paper-scale parameters")
+    parser.add_argument("--list", action="store_true", help="list experiments and exit")
+    parser.add_argument("--markdown", metavar="PATH", help="write a markdown report")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for exp_id, (description, _) in REGISTRY.items():
+            print(f"{exp_id:>4}  {description}")
+        return 0
+
+    selected = args.experiments or list(REGISTRY)
+    unknown = [e for e in selected if e.upper() not in REGISTRY]
+    if unknown:
+        print(f"unknown experiment ids: {unknown}", file=sys.stderr)
+        print(f"known: {', '.join(REGISTRY)}", file=sys.stderr)
+        return 2
+
+    quick = not args.full
+    tables: list[tuple[ExperimentTable, float]] = []
+    for exp_id in selected:
+        _, runner = REGISTRY[exp_id.upper()]
+        start = time.time()
+        table = runner(quick)
+        wall = time.time() - start
+        table.print()
+        print(f"(wall time: {wall:.0f}s)\n")
+        tables.append((table, wall))
+
+    if args.markdown:
+        with open(args.markdown, "w") as fh:
+            fh.write(to_markdown(tables))
+        print(f"wrote {args.markdown}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

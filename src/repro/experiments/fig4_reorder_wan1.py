@@ -1,0 +1,84 @@
+"""F4 — reordering in WAN 1 (the paper's Figure 4).
+
+With a reorder threshold R, a local transaction delivered behind pending
+globals may leap over them (if certification-compatible) instead of
+waiting out their vote exchange (§IV-E).  The paper sweeps
+R ∈ {80, 160, 320} against baseline for 1 %, 10 %, 50 % globals.
+
+Threshold scaling: R is a *delivery count*, so its effective size is a
+time window of ``R / delivery_rate``.  The paper ran at ~7 000 tps, where
+R = 80/160/320 spans ≈ 11/23/46 ms — on the order of the vote round trip.
+Our simulated deployments deliver at a few hundred per second, so we use
+R = 8/16/32 (WAN 1) to produce the *same time windows*; EXPERIMENTS.md
+records the correspondence.
+
+Shape criteria: reordering helps locals dramatically in WAN 1 —
+local p99 improves ~48–69 % (paper) — while globals pay little.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentTable, GeoRunParams, run_geo_microbench
+
+FRACTIONS = (0.01, 0.10, 0.50)
+THRESHOLDS = (0, 8, 16, 32)
+
+#: The paper's thresholds at its ~7k tps delivery rate (same time windows).
+PAPER_EQUIVALENT = {8: 80, 16: 160, 32: 320, 4: 40, 12: 120}
+
+
+def run(
+    quick: bool = False,
+    deployment: str = "wan1",
+    thresholds: tuple[int, ...] = THRESHOLDS,
+) -> ExperimentTable:
+    rows = []
+    for fraction in FRACTIONS:
+        baseline_p99 = None
+        for threshold in thresholds:
+            params = GeoRunParams(
+                deployment=deployment,
+                global_fraction=fraction,
+                reorder_threshold=threshold,
+                seed=41,
+            )
+            if quick:
+                params = params.quick()
+            result = run_geo_microbench(params)
+            row = result.row()
+            paper_r = PAPER_EQUIVALENT.get(threshold)
+            row["R"] = (
+                "baseline"
+                if threshold == 0
+                else f"{threshold} (paper {paper_r})" if paper_r else str(threshold)
+            )
+            row["reordered"] = sum(
+                stats["reordered"] for stats in result.run.cluster.server_stats().values()
+            )
+            if threshold == 0:
+                baseline_p99 = row["local_p99_ms"]
+            elif baseline_p99:
+                row["local_p99_gain_pct"] = round(
+                    100 * (1 - row["local_p99_ms"] / baseline_p99), 1
+                )
+            rows.append(row)
+    return ExperimentTable(
+        experiment_id="F4" if deployment == "wan1" else "F5",
+        title=f"Reordering in {deployment.upper()} (Figure {'4' if deployment == 'wan1' else '5'})",
+        rows=rows,
+        notes=[
+            "paper (WAN 1): local p99 gains of 48%/58%/69% at 1%/10%/50% globals "
+            "with R=320; globals improve 12-28% too"
+            if deployment == "wan1"
+            else "paper (WAN 2): locals improve (e.g. 229 -> 161 ms at 10%, R=80) "
+            "but globals pay a small latency cost — a trade-off absent in WAN 1"
+        ],
+    )
+
+
+def main() -> None:
+    run().print()
+
+
+if __name__ == "__main__":
+    main()

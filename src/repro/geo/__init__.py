@@ -1,0 +1,21 @@
+"""Geo-replicated deployments of SDUR (paper §IV).
+
+* :mod:`repro.geo.deployments` — builders for the paper's WAN 1 / WAN 2
+  topologies (Figure 1) plus single-region LAN deployments for the
+  scalability experiments.
+* :mod:`repro.geo.analytical` — the closed-form latency model of
+  Figure 1 (4δ, 4δ+2Δ, 2δ+2Δ, 3δ+3Δ, 2δ remote reads), used both for the
+  T1 table and to validate the simulator.
+"""
+
+from repro.geo.analytical import AnalyticalLatencies, analytical_latencies
+from repro.geo.deployments import Deployment, lan_deployment, wan1_deployment, wan2_deployment
+
+__all__ = [
+    "AnalyticalLatencies",
+    "analytical_latencies",
+    "Deployment",
+    "lan_deployment",
+    "wan1_deployment",
+    "wan2_deployment",
+]

@@ -1,0 +1,74 @@
+"""The analytic latency model of the paper's Figure 1.
+
+With δ the maximum intra-region one-way delay and Δ the maximum
+inter-region one-way delay (Δ ≫ δ), an unloaded deployment terminates
+transactions in:
+
+===========  ==================  ====================
+Deployment   Local transaction   Global transaction
+===========  ==================  ====================
+WAN 1        4δ                  4δ + 2Δ
+WAN 2        2δ + 2Δ             3δ + 3Δ
+===========  ==================  ====================
+
+and serves a remote read (a global transaction at P1 reading P2's data
+through a co-located replica) in 2δ.  WAN 1 tolerates datacenter failures
+but not the loss of a whole region; WAN 2 tolerates both.
+
+The simulator is validated against these closed forms in
+``tests/integration/test_latency_model.py`` and the comparison is printed
+by experiment T1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AnalyticalLatencies:
+    """Closed-form unloaded latencies for one deployment (seconds)."""
+
+    deployment: str
+    local_commit: float
+    global_commit: float
+    remote_read: float
+    tolerates_datacenter_failure: bool
+    tolerates_region_failure: bool
+
+    def row(self) -> dict[str, object]:
+        """A printable table row in milliseconds."""
+        return {
+            "deployment": self.deployment,
+            "local_commit_ms": round(self.local_commit * 1000, 3),
+            "global_commit_ms": round(self.global_commit * 1000, 3),
+            "remote_read_ms": round(self.remote_read * 1000, 3),
+            "datacenter_failures": "yes" if self.tolerates_datacenter_failure else "no",
+            "region_failures": "yes" if self.tolerates_region_failure else "no",
+        }
+
+
+def analytical_latencies(deployment: str, delta: float, inter_delta: float) -> AnalyticalLatencies:
+    """Figure 1's formulas for ``deployment`` in {"wan1", "wan2"}.
+
+    ``delta`` is δ (intra-region one-way delay), ``inter_delta`` is Δ.
+    """
+    if deployment == "wan1":
+        return AnalyticalLatencies(
+            deployment="wan1",
+            local_commit=4 * delta,
+            global_commit=4 * delta + 2 * inter_delta,
+            remote_read=2 * delta,
+            tolerates_datacenter_failure=True,
+            tolerates_region_failure=False,
+        )
+    if deployment == "wan2":
+        return AnalyticalLatencies(
+            deployment="wan2",
+            local_commit=2 * delta + 2 * inter_delta,
+            global_commit=3 * delta + 3 * inter_delta,
+            remote_read=2 * delta,
+            tolerates_datacenter_failure=True,
+            tolerates_region_failure=True,
+        )
+    raise ValueError(f"unknown deployment {deployment!r} (expected 'wan1' or 'wan2')")

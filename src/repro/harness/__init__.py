@@ -1,0 +1,19 @@
+"""Experiment harness: cluster assembly and workload driving.
+
+* :mod:`repro.harness.cluster` — builds a full SDUR cluster (servers,
+  Paxos replicas, dispatchers, clients) on a :class:`~repro.runtime.sim.SimWorld`.
+* :mod:`repro.harness.driver` — closed-loop client drivers (the paper's
+  load generators) and the experiment runner with warm-up and
+  measurement windows.
+"""
+
+from repro.harness.cluster import SdurCluster, build_cluster
+from repro.harness.driver import ClosedLoopDriver, ExperimentRun, run_experiment
+
+__all__ = [
+    "SdurCluster",
+    "build_cluster",
+    "ClosedLoopDriver",
+    "ExperimentRun",
+    "run_experiment",
+]

@@ -1,0 +1,239 @@
+"""Cluster assembly: wiring protocol cores onto a runtime.
+
+``build_cluster`` takes a deployment (topology + directory), a partition
+map, and configurations, and returns an :class:`SdurCluster` with one
+Paxos replica + SDUR server per server node, each behind a small
+dispatcher that routes Paxos traffic to the replica and everything else
+to the server.  Clients are added afterwards and bound to session
+servers near them.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+from typing import Any
+
+from repro.checker.history import HistoryRecorder
+from repro.consensus.abcast import AbcastFabric
+from repro.consensus.messages import PAXOS_MESSAGE_TYPES
+from repro.consensus.replica import PaxosConfig, PaxosReplica
+from repro.core.client import ClientConfig, SdurClient
+from repro.core.config import SdurConfig
+from repro.core.directory import ClusterDirectory
+from repro.core.partitioning import PartitionMap
+from repro.core.server import SdurServer
+from repro.errors import ConfigurationError
+from repro.geo.deployments import Deployment
+from repro.runtime.sim import SimWorld
+
+
+@dataclass
+class ServerHandle:
+    """Everything running at one server node."""
+
+    node_id: str
+    partition: str
+    server: SdurServer
+    replica: PaxosReplica
+
+
+class SdurCluster:
+    """A fully wired SDUR deployment on a simulation world."""
+
+    def __init__(
+        self,
+        world: SimWorld,
+        deployment: Deployment,
+        partition_map: PartitionMap,
+        config: SdurConfig,
+    ) -> None:
+        self.world = world
+        self.deployment = deployment
+        self.directory: ClusterDirectory = deployment.directory
+        self.partition_map = partition_map
+        self.config = config
+        self.servers: dict[str, ServerHandle] = {}
+        self.clients: dict[str, SdurClient] = {}
+        self.recorder: HistoryRecorder | None = None
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Assembly
+    # ------------------------------------------------------------------
+    def _add_server(self, node_id: str, partition: str, paxos_config: PaxosConfig) -> None:
+        runtime = self.world.runtime_for(node_id)
+        fabric = AbcastFabric(
+            runtime,
+            groups=self.directory.partitions,
+            coordinator_hints=self.directory.preferred,
+            # With elected (not pinned) leaders the static hint can die;
+            # redundant submission keeps cross-partition broadcasts alive.
+            redundant_submit=paxos_config.static_leader is None,
+        )
+        server = SdurServer(
+            runtime=runtime,
+            partition=partition,
+            directory=self.directory,
+            partition_map=self.partition_map,
+            fabric=fabric,
+            config=self.config,
+        )
+        replica = PaxosReplica(
+            runtime,
+            group_id=partition,
+            members=self.directory.servers_of(partition),
+            config=paxos_config,
+            on_deliver=server.on_adeliver,
+        )
+        fabric.attach_replica(partition, replica)
+        server.is_partition_leader = replica.elector.is_leader
+        server.checkpoint_hook = replica.compact_wal
+
+        def dispatch(src: str, msg: Any, replica=replica, server=server) -> None:
+            if isinstance(msg, PAXOS_MESSAGE_TYPES):
+                replica.handle(src, msg)
+            else:
+                server.handle(src, msg)
+
+        runtime.listen(dispatch)
+        self.servers[node_id] = ServerHandle(node_id, partition, server, replica)
+
+    def seed(self, data: dict[str, Any]) -> None:
+        """Load initial data into every replica of each key's partition."""
+        if self._started:
+            raise ConfigurationError("seed() must run before start()")
+        per_partition: dict[str, dict[str, Any]] = {}
+        for key, value in data.items():
+            partition = self.partition_map.partition_of(key)
+            per_partition.setdefault(partition, {})[key] = value
+        for handle in self.servers.values():
+            partition_data = per_partition.get(handle.partition)
+            if partition_data:
+                handle.server.store.seed(partition_data)
+
+    def restore_server(self, node_id: str, checkpoint_blob: bytes) -> None:
+        """Install a checkpoint into a freshly built server node.
+
+        Restores the SDUR delivery-path state *and* advances the Paxos
+        replica's cursor past the instances the checkpoint covers — both
+        are required: a replica whose WAL was fully compacted would
+        otherwise restart at instance 0 and propose over decided slots.
+        Must run before :meth:`start`.
+        """
+        if self._started:
+            raise ConfigurationError("restore_server() must run before start()")
+        from repro.core.checkpoint import ServerCheckpoint
+
+        checkpoint = ServerCheckpoint.from_bytes(checkpoint_blob)
+        handle = self.servers[node_id]
+        handle.server.restore_checkpoint(checkpoint)
+        handle.replica.log.advance_to(checkpoint.next_instance)
+
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        for handle in self.servers.values():
+            handle.replica.start()
+            handle.server.start()
+
+    def add_client(
+        self,
+        region: str | None = None,
+        session_server: str | None = None,
+        config: ClientConfig | None = None,
+        **overrides: Any,
+    ) -> SdurClient:
+        """Create a client, placed in ``region`` (default: first region)."""
+        if region is None:
+            region = sorted(self.deployment.topology.regions())[0]
+        client_id = self.deployment.add_client(region)
+        if config is None:
+            if session_server is None:
+                session_server = self.deployment.session_server_for(client_id)
+            config = ClientConfig(session_server=session_server, **overrides)
+        runtime = self.world.runtime_for(client_id)
+        client = SdurClient(runtime, self.directory, self.partition_map, config)
+        runtime.listen(client.handle)
+        self.clients[client_id] = client
+        return client
+
+    # ------------------------------------------------------------------
+    # Instrumentation and fault injection
+    # ------------------------------------------------------------------
+    def attach_recorder(self, recorder: HistoryRecorder | None = None) -> HistoryRecorder:
+        """Hook a history recorder into every server; returns it."""
+        recorder = recorder or HistoryRecorder()
+        self.recorder = recorder
+        for handle in self.servers.values():
+            handle.server.on_commit_hook = recorder.server_hook(handle.node_id)
+        return recorder
+
+    def crash_server(self, node_id: str) -> None:
+        self.world.crash(node_id)
+
+    def replica_counts(self) -> dict[str, int]:
+        """partition -> replica count (for recorder completeness checks)."""
+        return {p: len(m) for p, m in self.directory.partitions.items()}
+
+    def server_stats(self) -> dict[str, dict[str, int]]:
+        out: dict[str, dict[str, int]] = {}
+        for node_id, handle in self.servers.items():
+            stats = handle.server.stats
+            out[node_id] = {
+                "committed_local": stats.committed_local,
+                "committed_global": stats.committed_global,
+                "aborted": stats.aborted,
+                "reordered": stats.reordered,
+                "noops_sent": stats.noops_sent,
+                "reads_served": stats.reads_served,
+            }
+        return out
+
+
+def build_cluster(
+    deployment: Deployment,
+    partition_map: PartitionMap,
+    config: SdurConfig | None = None,
+    seed: int = 0,
+    intra_delay: float | None = None,
+    jitter_fraction: float = 0.0,
+    codec_roundtrip: bool = False,
+    trace: bool = False,
+    paxos_config: PaxosConfig | None = None,
+    paxos_config_factory: "Callable[[str, str], PaxosConfig] | None" = None,
+) -> SdurCluster:
+    """Create a simulation world and wire an SDUR cluster onto it.
+
+    ``intra_delay`` overrides δ; inter-region delays default to the
+    paper's EC2 measurements.  ``paxos_config`` overrides the per-group
+    consensus settings (default: static leader pinned at each partition's
+    preferred server, which is how the paper deploys Paxos coordinators);
+    ``paxos_config_factory(node_id, partition)`` overrides them per node
+    (needed for per-replica WALs).
+    """
+    if partition_map.num_partitions != len(deployment.partition_ids):
+        raise ConfigurationError(
+            f"partition map has {partition_map.num_partitions} partitions, "
+            f"deployment has {len(deployment.partition_ids)}"
+        )
+    world = SimWorld.geo(
+        deployment.topology,
+        intra_delay=intra_delay,
+        jitter_fraction=jitter_fraction,
+        seed=seed,
+        codec_roundtrip=codec_roundtrip,
+        trace=trace,
+    )
+    cluster = SdurCluster(world, deployment, partition_map, config or SdurConfig())
+    for partition in deployment.partition_ids:
+        for node_id in deployment.directory.servers_of(partition):
+            if paxos_config_factory is not None:
+                node_paxos = paxos_config_factory(node_id, partition)
+            else:
+                node_paxos = paxos_config or PaxosConfig(
+                    static_leader=deployment.directory.preferred_of(partition)
+                )
+            cluster._add_server(node_id, partition, node_paxos)
+    return cluster

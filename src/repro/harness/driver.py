@@ -1,0 +1,123 @@
+"""Closed-loop workload drivers and the experiment runner.
+
+The paper's load generators are closed-loop: each client runs one
+transaction at a time, issuing the next as soon as the previous one
+completes (optionally after a think time).  Offered load is controlled by
+the number of clients, which is how the paper dials deployments to
+"75 % of maximum performance".
+
+``run_experiment`` starts the cluster and drivers, runs the simulation
+through warm-up + measurement + drain, and returns the collector,
+recorder, and measurement window — everything the per-figure experiment
+modules need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.checker.history import HistoryRecorder
+from repro.core.client import SdurClient, TxnResult
+from repro.harness.cluster import SdurCluster
+from repro.metrics.collector import MetricsCollector, WorkloadSummary
+from repro.workload.base import Workload
+
+
+class ClosedLoopDriver:
+    """One client issuing transactions back-to-back."""
+
+    def __init__(
+        self,
+        client: SdurClient,
+        workload: Workload,
+        collector: MetricsCollector,
+        recorder: HistoryRecorder | None = None,
+        think_time: float = 0.0,
+        abort_retry: bool = False,
+    ) -> None:
+        self.client = client
+        self.workload = workload
+        self.collector = collector
+        self.recorder = recorder
+        self.think_time = think_time
+        #: Re-run the same kind of transaction on abort (the paper counts
+        #: aborted transactions separately; retries are new transactions).
+        self.abort_retry = abort_retry
+        self._rng = client.runtime.rng("workload")
+        self._stopped = False
+        self.issued = 0
+
+    def start(self) -> None:
+        self._issue()
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    def _issue(self) -> None:
+        if self._stopped:
+            return
+        spec = self.workload.next_txn(self._rng)
+        self.issued += 1
+        self.client.execute(
+            spec.program, self._on_done, read_only=spec.read_only, label=spec.label
+        )
+
+    def _on_done(self, result: TxnResult) -> None:
+        self.collector.record(result)
+        if self.recorder is not None:
+            self.recorder.record_result(result)
+        if self._stopped:
+            return
+        if self.think_time > 0:
+            self.client.runtime.set_timer(self.think_time, self._issue)
+        else:
+            self._issue()
+
+
+@dataclass
+class ExperimentRun:
+    """Everything measured in one experiment execution."""
+
+    cluster: SdurCluster
+    collector: MetricsCollector
+    recorder: HistoryRecorder | None
+    window_start: float
+    window_end: float
+
+    def summary(self, **filters: object) -> WorkloadSummary:
+        return self.collector.summary(self.window_start, self.window_end, **filters)
+
+    def cdf(self, **filters: object) -> list[tuple[float, float]]:
+        return self.collector.latency_cdf(self.window_start, self.window_end, **filters)
+
+
+def run_experiment(
+    cluster: SdurCluster,
+    pairs: list[tuple[SdurClient, Workload]],
+    warmup: float,
+    measure: float,
+    drain: float = 3.0,
+    think_time: float = 0.0,
+    record_history: bool = False,
+) -> ExperimentRun:
+    """Drive ``pairs`` of (client, workload) through a measured run."""
+    collector = MetricsCollector()
+    recorder = cluster.attach_recorder() if record_history else None
+    drivers = [
+        ClosedLoopDriver(client, workload, collector, recorder, think_time=think_time)
+        for client, workload in pairs
+    ]
+    cluster.start()
+    for driver in drivers:
+        driver.start()
+    cluster.world.run(until=warmup + measure)
+    for driver in drivers:
+        driver.stop()
+    cluster.world.run(until=warmup + measure + drain)
+    return ExperimentRun(
+        cluster=cluster,
+        collector=collector,
+        recorder=recorder,
+        window_start=warmup,
+        window_end=warmup + measure,
+    )

@@ -1,0 +1,113 @@
+"""Scheduled fault injection for experiments.
+
+A :class:`FaultSchedule` scripts failures against a running cluster —
+crash this server at t=10, cut that link at t=20, heal it at t=25 — so
+availability experiments are reproducible.  Combined with windowed
+throughput (:func:`repro.metrics.collector.MetricsCollector` +
+:func:`throughput_timeline`) it shows the paper-style behaviour under
+faults: the dip while a partition elects a new leader, and recovery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal
+
+from repro.core.client import TxnResult
+from repro.errors import ConfigurationError
+from repro.harness.cluster import SdurCluster
+
+FaultKind = Literal["crash", "cut", "heal"]
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One scheduled fault."""
+
+    at: float
+    kind: FaultKind
+    #: Node for crashes; ``(a, b)`` endpoints for cut/heal.
+    target: str | tuple[str, str]
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ConfigurationError("fault time must be non-negative")
+        if self.kind == "crash" and not isinstance(self.target, str):
+            raise ConfigurationError("crash targets one node")
+        if self.kind in ("cut", "heal") and (
+            not isinstance(self.target, tuple) or len(self.target) != 2
+        ):
+            raise ConfigurationError(f"{self.kind} targets a link (a, b)")
+
+
+@dataclass
+class FaultSchedule:
+    """An ordered script of faults, armed onto a cluster's kernel."""
+
+    faults: list[Fault] = field(default_factory=list)
+    #: Faults that have fired (time, kind, target), for assertions.
+    fired: list[tuple[float, str, object]] = field(default_factory=list)
+
+    # Convenience builders -------------------------------------------------
+    def crash(self, at: float, node: str) -> "FaultSchedule":
+        self.faults.append(Fault(at=at, kind="crash", target=node))
+        return self
+
+    def cut(self, at: float, a: str, b: str) -> "FaultSchedule":
+        self.faults.append(Fault(at=at, kind="cut", target=(a, b)))
+        return self
+
+    def heal(self, at: float, a: str, b: str) -> "FaultSchedule":
+        self.faults.append(Fault(at=at, kind="heal", target=(a, b)))
+        return self
+
+    def crash_region(self, at: float, cluster: SdurCluster, region: str) -> "FaultSchedule":
+        """Crash every *server* placed in ``region`` (catastrophic failure)."""
+        for node in cluster.deployment.topology.nodes_in_region(region):
+            if node in cluster.servers:
+                self.crash(at, node)
+        return self
+
+    # Arming ---------------------------------------------------------------
+    def arm(self, cluster: SdurCluster) -> None:
+        """Schedule every fault on the cluster's simulation kernel."""
+        for fault in sorted(self.faults, key=lambda f: f.at):
+            cluster.world.kernel.schedule(
+                max(0.0, fault.at - cluster.world.now),
+                self._fire,
+                cluster,
+                fault,
+            )
+
+    def _fire(self, cluster: SdurCluster, fault: Fault) -> None:
+        if fault.kind == "crash":
+            cluster.crash_server(fault.target)  # type: ignore[arg-type]
+        elif fault.kind == "cut":
+            a, b = fault.target  # type: ignore[misc]
+            cluster.world.network.cut_link(a, b)
+        elif fault.kind == "heal":
+            a, b = fault.target  # type: ignore[misc]
+            cluster.world.network.heal_link(a, b)
+        self.fired.append((cluster.world.now, fault.kind, fault.target))
+
+
+def throughput_timeline(
+    results: list[TxnResult], start: float, end: float, bucket: float = 1.0
+) -> list[tuple[float, float]]:
+    """Committed transactions per second, bucketed over ``[start, end)``.
+
+    Returns ``(bucket_start_time, tps)`` pairs — the availability curve
+    an operator watches during a failover.
+    """
+    if bucket <= 0:
+        raise ConfigurationError("bucket must be positive")
+    num_buckets = max(1, int((end - start) / bucket))
+    counts = [0] * num_buckets
+    for result in results:
+        if not result.committed:
+            continue
+        if start <= result.finished < start + num_buckets * bucket:
+            counts[int((result.finished - start) / bucket)] += 1
+    return [
+        (start + index * bucket, count / bucket) for index, count in enumerate(counts)
+    ]

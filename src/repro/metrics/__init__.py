@@ -1,0 +1,12 @@
+"""Measurement: latency/throughput collection and paper-style reporting."""
+
+from repro.metrics.collector import MetricsCollector, WorkloadSummary
+from repro.metrics.stats import LatencySummary, cdf_points, percentile
+
+__all__ = [
+    "MetricsCollector",
+    "WorkloadSummary",
+    "LatencySummary",
+    "percentile",
+    "cdf_points",
+]

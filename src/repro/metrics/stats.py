@@ -1,0 +1,77 @@
+"""Latency statistics: percentiles, summaries, CDFs.
+
+The paper reports 99th-percentile latency (bars), average latency
+(diamonds), and latency CDFs; these helpers compute exactly those.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0–100) with linear interpolation.
+
+    Matches numpy's default ("linear") method but avoids requiring the
+    samples as an ndarray.  Raises on an empty sample set.
+    """
+    if not samples:
+        raise ValueError("percentile of empty sample set")
+    if not 0 <= q <= 100:
+        raise ValueError(f"q must be in [0, 100], got {q!r}")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (len(ordered) - 1) * q / 100.0
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return ordered[low]
+    frac = rank - low
+    return ordered[low] * (1 - frac) + ordered[high] * frac
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Mean / median / tail of one latency population (seconds)."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    maximum: float
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float]) -> "LatencySummary":
+        if not samples:
+            return cls(count=0, mean=0.0, p50=0.0, p95=0.0, p99=0.0, maximum=0.0)
+        return cls(
+            count=len(samples),
+            mean=sum(samples) / len(samples),
+            p50=percentile(samples, 50),
+            p95=percentile(samples, 95),
+            p99=percentile(samples, 99),
+            maximum=max(samples),
+        )
+
+    def ms(self, field: str) -> float:
+        """A field converted to milliseconds (for paper-style tables)."""
+        return getattr(self, field) * 1000.0
+
+
+def cdf_points(samples: Iterable[float], num_points: int = 100) -> list[tuple[float, float]]:
+    """``(latency, cumulative_fraction)`` pairs for plotting a CDF."""
+    ordered = sorted(samples)
+    if not ordered:
+        return []
+    total = len(ordered)
+    if total <= num_points:
+        return [(value, (index + 1) / total) for index, value in enumerate(ordered)]
+    points = []
+    for step in range(1, num_points + 1):
+        index = math.ceil(step * total / num_points) - 1
+        points.append((ordered[index], (index + 1) / total))
+    return points

@@ -1,0 +1,135 @@
+"""Real TCP transport for the asyncio runtime.
+
+Frames are length-prefixed (4-byte big-endian) JSON messages produced by
+the wire codec in :mod:`repro.net.message`, wrapped in an
+:class:`Envelope` carrying the sender's node id.  Connections are opened
+lazily per destination and cached; links are quasi-reliable in the sense
+of the paper's model (TCP delivers in order while both endpoints live;
+on connection failure the message is dropped and higher layers — Paxos —
+recover).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections.abc import Callable
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import TransportError
+from repro.net.message import Message, decode_message, encode_message, message
+
+_LEN_BYTES = 4
+_MAX_FRAME = 64 * 1024 * 1024
+
+
+@message
+@dataclass(frozen=True)
+class Envelope(Message):
+    """Wire wrapper adding the sender id to a payload message."""
+
+    src: str
+    payload: Any
+
+
+def _frame(data: bytes) -> bytes:
+    if len(data) > _MAX_FRAME:
+        raise TransportError(f"frame too large: {len(data)} bytes")
+    return len(data).to_bytes(_LEN_BYTES, "big") + data
+
+
+async def _read_frame(reader: asyncio.StreamReader) -> bytes | None:
+    try:
+        header = await reader.readexactly(_LEN_BYTES)
+    except (asyncio.IncompleteReadError, ConnectionError):
+        return None
+    length = int.from_bytes(header, "big")
+    if length > _MAX_FRAME:
+        raise TransportError(f"peer announced oversized frame: {length} bytes")
+    try:
+        return await reader.readexactly(length)
+    except (asyncio.IncompleteReadError, ConnectionError):
+        return None
+
+
+class AioTransport:
+    """One node's TCP endpoint: listens for peers and sends to a directory."""
+
+    def __init__(
+        self,
+        node_id: str,
+        directory: dict[str, tuple[str, int]],
+        handler: Callable[[str, Any], None],
+    ) -> None:
+        if node_id not in directory:
+            raise TransportError(f"node {node_id!r} missing from directory")
+        self.node_id = node_id
+        self.directory = directory
+        self.handler = handler
+        self._server: asyncio.AbstractServer | None = None
+        self._writers: dict[str, asyncio.StreamWriter] = {}
+        self._send_locks: dict[str, asyncio.Lock] = {}
+        self._reader_tasks: set[asyncio.Task] = set()
+        self._closed = False
+
+    async def start(self) -> None:
+        """Bind and start accepting peer connections."""
+        host, port = self.directory[self.node_id]
+        self._server = await asyncio.start_server(self._on_connection, host, port)
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._reader_tasks.add(task)
+            task.add_done_callback(self._reader_tasks.discard)
+        try:
+            while not self._closed:
+                frame = await _read_frame(reader)
+                if frame is None:
+                    break
+                envelope = decode_message(frame)
+                if not isinstance(envelope, Envelope):
+                    raise TransportError(f"expected Envelope, got {type(envelope).__name__}")
+                self.handler(envelope.src, envelope.payload)
+        finally:
+            writer.close()
+
+    async def send(self, dst: str, msg: Any) -> None:
+        """Send ``msg`` to ``dst``; drops silently on connection failure."""
+        if self._closed:
+            return
+        frame = _frame(encode_message(Envelope(src=self.node_id, payload=msg)))
+        lock = self._send_locks.setdefault(dst, asyncio.Lock())
+        async with lock:
+            writer = self._writers.get(dst)
+            if writer is None or writer.is_closing():
+                try:
+                    host, port = self.directory[dst]
+                except KeyError:
+                    raise TransportError(f"unknown destination {dst!r}") from None
+                try:
+                    _, writer = await asyncio.open_connection(host, port)
+                except OSError:
+                    return  # Peer down: quasi-reliable link drops the message.
+                self._writers[dst] = writer
+            try:
+                writer.write(frame)
+                await writer.drain()
+            except (ConnectionError, OSError):
+                self._writers.pop(dst, None)
+
+    async def close(self) -> None:
+        """Stop accepting and tear down all connections."""
+        self._closed = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for writer in self._writers.values():
+            writer.close()
+        self._writers.clear()
+        for task in list(self._reader_tasks):
+            task.cancel()
+        if self._reader_tasks:
+            await asyncio.gather(*self._reader_tasks, return_exceptions=True)

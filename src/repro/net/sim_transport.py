@@ -1,0 +1,141 @@
+"""The simulated network.
+
+``SimNetwork`` delivers messages between registered nodes on the
+simulation kernel with delays drawn from a latency model.  It supports the
+failure modes the paper's model allows:
+
+* **crash-stop** — a crashed node neither sends nor receives, forever;
+* **link cuts** — messages between two nodes are silently dropped until
+  the link heals (used to exercise Paxos under partial connectivity);
+* **probabilistic loss** — optional, for stress-testing retransmission-free
+  protocols (Paxos tolerates loss; the SDUR layer assumes quasi-reliable
+  links, which the default loss of zero provides).
+
+With ``codec_roundtrip=True`` every message is encoded and decoded through
+the wire codec before delivery, proving that the exact objects the
+protocols exchange are serializable — the same property the asyncio
+transport needs for real.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from typing import Any
+
+from repro.errors import UnknownNodeError
+from repro.net.message import decode_message, encode_message
+from repro.sim.kernel import Kernel
+from repro.sim.latency import LatencyModel
+from repro.sim.rng import RngRegistry
+from repro.sim.tracing import NULL_TRACER, Tracer
+
+#: Signature of a node's message handler: ``handler(src_node_id, message)``.
+Handler = Callable[[str, Any], None]
+
+
+class SimNetwork:
+    """Simulated message fabric between named nodes."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        latency: LatencyModel,
+        rng: RngRegistry,
+        codec_roundtrip: bool = False,
+        loss_probability: float = 0.0,
+        tracer: Tracer | None = None,
+        strict: bool = True,
+    ) -> None:
+        if not 0.0 <= loss_probability < 1.0:
+            raise ValueError(f"loss_probability must be in [0, 1), got {loss_probability!r}")
+        self.kernel = kernel
+        self.latency = latency
+        self.codec_roundtrip = codec_roundtrip
+        self.loss_probability = loss_probability
+        #: Strict mode raises on sends to unregistered nodes (catches
+        #: wiring bugs in tests); non-strict drops them like a real
+        #: network drops traffic to departed processes.
+        self.strict = strict
+        self.tracer = tracer or NULL_TRACER
+        self._rng = rng.stream("net.latency")
+        self._loss_rng = rng.stream("net.loss")
+        self._handlers: dict[str, Handler] = {}
+        self._crashed: set[str] = set()
+        self._cut_links: set[frozenset[str]] = set()
+        # Statistics.
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.messages_dropped = 0
+        self.bytes_sent = 0
+
+    # ------------------------------------------------------------------
+    # Membership and failures
+    # ------------------------------------------------------------------
+    def register(self, node_id: str, handler: Handler) -> None:
+        """Attach ``handler`` as the message sink for ``node_id``."""
+        self._handlers[node_id] = handler
+
+    def is_registered(self, node_id: str) -> bool:
+        return node_id in self._handlers
+
+    def crash(self, node_id: str) -> None:
+        """Crash-stop ``node_id``: it never sends or receives again."""
+        self._crashed.add(node_id)
+        self.tracer.emit(node_id, "net.crash")
+
+    def is_crashed(self, node_id: str) -> bool:
+        return node_id in self._crashed
+
+    def cut_link(self, a: str, b: str) -> None:
+        """Silently drop all messages between ``a`` and ``b``."""
+        self._cut_links.add(frozenset({a, b}))
+
+    def heal_link(self, a: str, b: str) -> None:
+        self._cut_links.discard(frozenset({a, b}))
+
+    def link_is_cut(self, a: str, b: str) -> bool:
+        return frozenset({a, b}) in self._cut_links
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send(self, src: str, dst: str, msg: Any) -> None:
+        """Send ``msg`` from ``src`` to ``dst`` (fire-and-forget)."""
+        if dst not in self._handlers:
+            if self.strict:
+                raise UnknownNodeError(f"send to unregistered node {dst!r}")
+            self.messages_dropped += 1
+            self.tracer.emit(src, "net.drop.unknown", dst=dst, msg=type(msg).__name__)
+            return
+        self.messages_sent += 1
+        if src in self._crashed or dst in self._crashed:
+            self.messages_dropped += 1
+            return
+        if self.link_is_cut(src, dst):
+            self.messages_dropped += 1
+            self.tracer.emit(src, "net.drop.cut", dst=dst, msg=type(msg).__name__)
+            return
+        # In-process hand-offs (self sends) are never lost.
+        if src != dst and self.loss_probability and self._loss_rng.random() < self.loss_probability:
+            self.messages_dropped += 1
+            self.tracer.emit(src, "net.drop.loss", dst=dst, msg=type(msg).__name__)
+            return
+        payload = msg
+        if self.codec_roundtrip:
+            wire = encode_message(msg)
+            self.bytes_sent += len(wire)
+            payload = decode_message(wire)
+        delay = self.latency.sample(src, dst, self._rng)
+        self.kernel.schedule(delay, self._deliver, src, dst, payload)
+
+    def _deliver(self, src: str, dst: str, msg: Any) -> None:
+        if dst in self._crashed:
+            self.messages_dropped += 1
+            return
+        handler = self._handlers.get(dst)
+        if handler is None:
+            self.messages_dropped += 1
+            return
+        self.messages_delivered += 1
+        self.tracer.emit(dst, "net.deliver", src=src, msg=type(msg).__name__)
+        handler(src, msg)

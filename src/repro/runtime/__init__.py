@@ -1,0 +1,22 @@
+"""Runtime abstraction: the seam between protocol logic and I/O.
+
+Every protocol core in this library (Paxos replicas, SDUR servers and
+clients) is *sans-io*: it never touches sockets, threads, or wall clocks.
+Instead it is handed a :class:`~repro.runtime.base.Runtime` which provides
+a clock, timers, message sending, named RNG streams, and a CPU-cost hook.
+
+Two implementations exist:
+
+* :class:`~repro.runtime.sim.SimWorld` /
+  :class:`~repro.runtime.sim.SimNodeRuntime` — drives the cores on the
+  deterministic discrete-event kernel; all experiments use this.
+* :class:`~repro.runtime.aio.AioWorld` /
+  :class:`~repro.runtime.aio.AioNodeRuntime` — drives the *same* cores
+  over real asyncio TCP sockets; integration tests use this to show the
+  protocol code is a genuine networked system.
+"""
+
+from repro.runtime.base import Runtime, TimerHandle
+from repro.runtime.sim import SimNodeRuntime, SimWorld
+
+__all__ = ["Runtime", "TimerHandle", "SimWorld", "SimNodeRuntime"]

@@ -1,0 +1,65 @@
+"""The abstract runtime interface protocol cores are written against."""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from collections.abc import Callable
+from typing import Any, Protocol
+
+
+class TimerHandle(Protocol):
+    """Cancellable handle returned by :meth:`Runtime.set_timer`."""
+
+    def cancel(self) -> None: ...
+
+
+class Runtime(ABC):
+    """Clock, timers, messaging, and randomness for one node.
+
+    A protocol core receives exactly one runtime, bound to its node id.
+    The core registers a message handler with :meth:`listen` and from then
+    on reacts to messages and timers only — no blocking, no I/O.
+    """
+
+    #: The node this runtime is bound to.
+    node_id: str
+
+    @abstractmethod
+    def now(self) -> float:
+        """Current time in seconds (virtual or monotonic wall time)."""
+
+    @abstractmethod
+    def send(self, dst: str, msg: Any) -> None:
+        """Fire-and-forget a message to node ``dst``."""
+
+    @abstractmethod
+    def set_timer(self, delay: float, callback: Callable[[], None]) -> TimerHandle:
+        """Run ``callback`` after ``delay`` seconds; returns a cancellable handle."""
+
+    @abstractmethod
+    def listen(self, handler: Callable[[str, Any], None]) -> None:
+        """Register the node's message handler: ``handler(src, msg)``."""
+
+    @abstractmethod
+    def rng(self, name: str) -> random.Random:
+        """A named reproducible random stream scoped to this node."""
+
+    @abstractmethod
+    def execute(self, cost: float, fn: Callable[[], None]) -> None:
+        """Run ``fn`` after charging ``cost`` seconds of CPU at this node.
+
+        Work submitted through ``execute`` is serialized FIFO per node
+        (one core).  A zero cost on an idle CPU runs immediately.
+        """
+
+    @abstractmethod
+    def latency_estimate(self, dst: str) -> float:
+        """Expected one-way message delay to ``dst`` in seconds.
+
+        This models the operator-configured delay table the paper's
+        *delaying* technique consults (``delay(x, p)`` in Algorithm 2).
+        """
+
+    def trace(self, category: str, **detail: Any) -> None:
+        """Emit a trace event; no-op unless the runtime wires a tracer."""

@@ -1,0 +1,16 @@
+"""Workloads: the paper's microbenchmark and social-network application."""
+
+from repro.workload.base import TxnSpec, Workload
+from repro.workload.distributions import UniformSampler, ZipfSampler
+from repro.workload.microbench import MicroBenchmark
+from repro.workload.social import SocialNetworkWorkload, generate_social_data
+
+__all__ = [
+    "TxnSpec",
+    "Workload",
+    "UniformSampler",
+    "ZipfSampler",
+    "MicroBenchmark",
+    "SocialNetworkWorkload",
+    "generate_social_data",
+]

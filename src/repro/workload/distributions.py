@@ -1,0 +1,75 @@
+"""Key-popularity distributions for workload generators.
+
+The microbenchmark picks keys uniformly; the contention/abort-rate
+experiment (S3) skews access with a Zipf distribution so hot keys
+collide, which is what drives certification aborts in optimistic
+concurrency control.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from abc import ABC, abstractmethod
+
+
+class KeySampler(ABC):
+    """Draws item indices in ``[0, n)``."""
+
+    @abstractmethod
+    def sample(self, rng: random.Random) -> int:
+        """One index draw."""
+
+    @property
+    @abstractmethod
+    def population(self) -> int:
+        """The number of distinct indices (``n``)."""
+
+
+class UniformSampler(KeySampler):
+    """Every item equally likely."""
+
+    def __init__(self, num_items: int) -> None:
+        if num_items < 1:
+            raise ValueError("need at least one item")
+        self._num_items = num_items
+
+    @property
+    def population(self) -> int:
+        return self._num_items
+
+    def sample(self, rng: random.Random) -> int:
+        return rng.randrange(self._num_items)
+
+
+class ZipfSampler(KeySampler):
+    """Zipf(θ) over ``n`` items via inverse-CDF lookup.
+
+    Item ``i`` (0-based) has probability proportional to ``1/(i+1)^theta``.
+    The CDF is precomputed once; each draw is a binary search, so sampling
+    stays O(log n) regardless of skew.
+    """
+
+    def __init__(self, num_items: int, theta: float = 0.99) -> None:
+        if num_items < 1:
+            raise ValueError("need at least one item")
+        if theta < 0:
+            raise ValueError("theta must be non-negative")
+        self._num_items = num_items
+        self.theta = theta
+        weights = [1.0 / (rank + 1) ** theta for rank in range(num_items)]
+        total = sum(weights)
+        cumulative = []
+        acc = 0.0
+        for weight in weights:
+            acc += weight / total
+            cumulative.append(acc)
+        cumulative[-1] = 1.0  # guard against float drift
+        self._cdf = cumulative
+
+    @property
+    def population(self) -> int:
+        return self._num_items
+
+    def sample(self, rng: random.Random) -> int:
+        return bisect.bisect_left(self._cdf, rng.random())

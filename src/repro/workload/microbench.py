@@ -1,0 +1,119 @@
+"""The paper's microbenchmark (§VI-A).
+
+Each transaction updates two different objects (two reads + two writes).
+With probability ``global_fraction`` the transaction is *global*: it
+updates one object in the client's home partition and one in a remote
+partition.  Otherwise both objects are local.
+
+Keys are ``"{partition_index}/obj{i}"`` with the
+:meth:`~repro.core.partitioning.PartitionMap.by_index` scheme, so
+locality is controlled exactly.  The paper uses one million 4-byte items
+per partition; items here are integers seeded to zero lazily (an unseeded
+key reads as ``None`` → treated as 0), keeping simulated stores small
+unless explicit seeding is requested.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Generator
+
+from repro.core.client import ReadMany, Txn
+from repro.errors import ConfigurationError
+from repro.workload.base import TxnSpec, Workload
+from repro.workload.distributions import KeySampler, UniformSampler
+
+
+def _as_int(value: object) -> int:
+    return value if isinstance(value, int) else 0
+
+
+class MicroBenchmark(Workload):
+    """Two-object update transactions with a tunable global fraction."""
+
+    def __init__(
+        self,
+        num_partitions: int,
+        home_partition_index: int,
+        global_fraction: float,
+        items_per_partition: int = 10_000,
+        sampler: KeySampler | None = None,
+        read_only_fraction: float = 0.0,
+        key_offset: int = 0,
+    ) -> None:
+        if not 0.0 <= global_fraction <= 1.0:
+            raise ConfigurationError(f"global_fraction {global_fraction!r} not in [0, 1]")
+        if not 0.0 <= read_only_fraction <= 1.0:
+            raise ConfigurationError(f"read_only_fraction {read_only_fraction!r} not in [0, 1]")
+        if global_fraction > 0 and num_partitions < 2:
+            raise ConfigurationError("global transactions need at least two partitions")
+        if not 0 <= home_partition_index < num_partitions:
+            raise ConfigurationError(
+                f"home partition {home_partition_index} out of range"
+            )
+        self.num_partitions = num_partitions
+        self.home = home_partition_index
+        self.global_fraction = global_fraction
+        self.read_only_fraction = read_only_fraction
+        self.sampler = sampler or UniformSampler(items_per_partition)
+        #: Added to every sampled index; disjoint offsets give clients
+        #: disjoint key ranges (guaranteed conflict-free workloads, used
+        #: by the bloom false-positive ablation).
+        self.key_offset = key_offset
+
+    # ------------------------------------------------------------------
+    # Key selection
+    # ------------------------------------------------------------------
+    def _key(self, partition_index: int, rng: random.Random) -> str:
+        return f"{partition_index}/obj{self.key_offset + self.sampler.sample(rng)}"
+
+    def _remote_partition(self, rng: random.Random) -> int:
+        offset = rng.randrange(1, self.num_partitions)
+        return (self.home + offset) % self.num_partitions
+
+    def pick_keys(self, rng: random.Random, is_global: bool) -> tuple[str, str]:
+        """Two distinct keys: both local, or one local + one remote."""
+        key_a = self._key(self.home, rng)
+        if is_global:
+            key_b = self._key(self._remote_partition(rng), rng)
+        else:
+            key_b = self._key(self.home, rng)
+            while key_b == key_a:
+                key_b = self._key(self.home, rng)
+        return key_a, key_b
+
+    # ------------------------------------------------------------------
+    # Workload interface
+    # ------------------------------------------------------------------
+    def next_txn(self, rng: random.Random) -> TxnSpec:
+        is_global = rng.random() < self.global_fraction
+        key_a, key_b = self.pick_keys(rng, is_global)
+        if self.read_only_fraction and rng.random() < self.read_only_fraction:
+            return TxnSpec(
+                program=_read_two(key_a, key_b),
+                read_only=True,
+                label="ro-global" if is_global else "ro-local",
+            )
+        return TxnSpec(
+            program=_update_two(key_a, key_b),
+            read_only=False,
+            label="global" if is_global else "local",
+        )
+
+
+def _update_two(key_a: str, key_b: str):
+    """Read both objects, increment both (2 reads + 2 writes)."""
+
+    def program(txn: Txn) -> Generator:
+        values = yield ReadMany((key_a, key_b))
+        txn.write(key_a, _as_int(values[key_a]) + 1)
+        txn.write(key_b, _as_int(values[key_b]) + 1)
+
+    return program
+
+
+def _read_two(key_a: str, key_b: str):
+    def program(txn: Txn) -> Generator:
+        yield ReadMany((key_a, key_b))
+
+    return program

@@ -1,0 +1,91 @@
+"""Unit tests for the leader-election oracle."""
+
+import pytest
+
+from repro.consensus.leader import LeaderElector
+from repro.errors import ConfigurationError
+
+
+def make_electors(world, members=("a", "b", "c"), static=None, **kwargs):
+    electors = {}
+    changes = {m: [] for m in members}
+    for member in members:
+        runtime = world.runtime_for(member)
+        elector = LeaderElector(
+            runtime,
+            "g",
+            list(members),
+            static_leader=static,
+            on_change=lambda leader, m=member: changes[m].append(leader),
+            **kwargs,
+        )
+        runtime.listen(
+            lambda src, msg, e=elector: e.on_heartbeat(src, msg)
+        )
+        electors[member] = elector
+    return electors, changes
+
+
+class TestStaticMode:
+    def test_static_leader_is_immediate(self, world):
+        electors, changes = make_electors(world, static="b")
+        for elector in electors.values():
+            elector.start()
+        assert all(e.leader == "b" for e in electors.values())
+        assert electors["b"].is_leader()
+        assert not electors["a"].is_leader()
+        assert all(changes[m] == ["b"] for m in changes)
+
+    def test_static_leader_must_be_member(self, world):
+        with pytest.raises(ConfigurationError):
+            LeaderElector(world.runtime_for("a"), "g", ["a", "b"], static_leader="zz")
+
+    def test_non_member_runtime_rejected(self, world):
+        with pytest.raises(ConfigurationError):
+            LeaderElector(world.runtime_for("outsider"), "g", ["a", "b"])
+
+
+class TestHeartbeatMode:
+    def test_converges_on_first_member(self, world):
+        electors, _ = make_electors(
+            world, heartbeat_interval=0.05, suspect_timeout=0.2
+        )
+        for elector in electors.values():
+            elector.start()
+        world.run(until=1.0)
+        assert all(e.leader == "a" for e in electors.values())
+
+    def test_leader_crash_elects_next(self, world):
+        electors, changes = make_electors(
+            world, heartbeat_interval=0.05, suspect_timeout=0.2
+        )
+        for elector in electors.values():
+            elector.start()
+        world.run(until=1.0)
+        world.crash("a")
+        world.run(until=3.0)
+        assert electors["b"].leader == "b"
+        assert electors["c"].leader == "b"
+        assert "b" in changes["c"]
+
+    def test_cascading_failures(self, world):
+        electors, _ = make_electors(
+            world, heartbeat_interval=0.05, suspect_timeout=0.2
+        )
+        for elector in electors.values():
+            elector.start()
+        world.run(until=1.0)
+        world.crash("a")
+        world.run(until=2.0)
+        world.crash("b")
+        world.run(until=4.0)
+        assert electors["c"].leader == "c"
+
+    def test_heartbeats_for_other_group_ignored(self, world):
+        from repro.consensus.messages import Heartbeat
+
+        electors, _ = make_electors(world, heartbeat_interval=0.05, suspect_timeout=0.2)
+        electors["a"].start()
+        electors["a"].on_heartbeat("b", Heartbeat(group="other-group"))
+        # No crash: the point is it neither throws nor records liveness.
+        assert "b" not in electors["a"]._last_seen or electors["a"]._last_seen["b"] == 0.0

@@ -1,0 +1,143 @@
+"""Tests for genuine atomic multicast (Skeen over Paxos groups)."""
+
+import pytest
+
+from repro.consensus.multicast import GenuineMulticast
+from repro.consensus.replica import PaxosConfig, PaxosReplica
+from repro.errors import ConfigurationError
+
+
+def build_groups(world, group_specs):
+    """group_specs: {group_id: [members]}; returns endpoints + deliveries."""
+    deliveries = {}  # node -> list of (mid, payload)
+    endpoints = {}
+    replicas = []
+    for group_id, members in group_specs.items():
+        for member in members:
+            runtime = world.runtime_for(member)
+            deliveries[member] = []
+            replica = PaxosReplica(
+                runtime, group_id, members, PaxosConfig(static_leader=members[0])
+            )
+            endpoint = GenuineMulticast(
+                runtime,
+                group_id,
+                group_specs,
+                replica,
+                on_deliver=lambda mid, payload, m=member: deliveries[m].append(
+                    (mid, payload)
+                ),
+            )
+            replica.on_deliver = endpoint.on_group_deliver
+
+            def dispatch(src, msg, replica=replica, endpoint=endpoint):
+                if replica.handle(src, msg):
+                    return
+                endpoint.handle(src, msg)
+
+            runtime.listen(dispatch)
+            endpoints[member] = endpoint
+            replicas.append(replica)
+    for replica in replicas:
+        replica.start()
+    return endpoints, deliveries
+
+
+TWO_GROUPS = {"g1": ["a1", "a2", "a3"], "g2": ["b1", "b2", "b3"]}
+
+
+class TestSingleGroup:
+    def test_fast_path_orders_like_broadcast(self, world):
+        endpoints, deliveries = build_groups(world, {"g1": ["a1", "a2", "a3"]})
+        world.run(until=1.0)
+        for i in range(5):
+            endpoints["a1"].amcast(("g1",), f"m{i}")
+        world.run(until=3.0)
+        payloads = [p for _, p in deliveries["a1"]]
+        assert payloads == [f"m{i}" for i in range(5)]
+        assert deliveries["a2"] == deliveries["a1"] == deliveries["a3"]
+
+
+class TestTwoGroups:
+    def test_multigroup_message_reaches_all_members_of_both(self, world):
+        endpoints, deliveries = build_groups(world, TWO_GROUPS)
+        world.run(until=1.0)
+        endpoints["a1"].amcast(("g1", "g2"), "hello")
+        world.run(until=3.0)
+        for member in ("a1", "a2", "a3", "b1", "b2", "b3"):
+            assert [p for _, p in deliveries[member]] == ["hello"]
+
+    def test_genuineness_only_addressed_groups_deliver(self, world):
+        endpoints, deliveries = build_groups(world, TWO_GROUPS)
+        world.run(until=1.0)
+        endpoints["a1"].amcast(("g1",), "g1-only")
+        world.run(until=3.0)
+        assert [p for _, p in deliveries["a2"]] == ["g1-only"]
+        assert deliveries["b1"] == []
+
+    def test_sender_outside_destination_groups(self, world):
+        endpoints, deliveries = build_groups(world, TWO_GROUPS)
+        world.run(until=1.0)
+        endpoints["a1"].amcast(("g2",), "from-outside")
+        world.run(until=3.0)
+        assert deliveries["a1"] == []
+        assert [p for _, p in deliveries["b2"]] == ["from-outside"]
+
+    def test_concurrent_multigroup_messages_totally_ordered(self, world):
+        endpoints, deliveries = build_groups(world, TWO_GROUPS)
+        world.run(until=1.0)
+        # Concurrent submissions from both sides.
+        for i in range(6):
+            sender = "a1" if i % 2 == 0 else "b1"
+            endpoints[sender].amcast(("g1", "g2"), f"m{i}")
+        world.run(until=5.0)
+        reference = [mid for mid, _ in deliveries["a1"]]
+        assert len(reference) == 6
+        for member in ("a2", "a3", "b1", "b2", "b3"):
+            assert [mid for mid, _ in deliveries[member]] == reference
+
+    def test_mixed_single_and_multigroup_ordering_is_consistent(self, world):
+        """Pairwise ordering: any two messages with a common destination
+        are delivered in the same relative order wherever both appear."""
+        endpoints, deliveries = build_groups(world, TWO_GROUPS)
+        world.run(until=1.0)
+        rng = world.rng.stream("mc")
+        destinations = {}
+        for i in range(18):
+            sender = rng.choice(["a1", "b1"])
+            dests = rng.choice([("g1",), ("g2",), ("g1", "g2")])
+            mid = endpoints[sender].amcast(dests, f"m{i}")
+            destinations[mid] = set(dests)
+            world.run_for(rng.random() * 0.02)
+        world.run(until=10.0)
+        orders = {m: [mid for mid, _ in deliveries[m]] for m in deliveries}
+        # Completeness: every member of an addressed group delivered it.
+        group_members = {"g1": ["a1", "a2", "a3"], "g2": ["b1", "b2", "b3"]}
+        for mid, dests in destinations.items():
+            for group in dests:
+                for member in group_members[group]:
+                    assert mid in orders[member], f"{mid} missing at {member}"
+        # Pairwise consistency across all members.
+        for m1 in orders:
+            for m2 in orders:
+                common = [mid for mid in orders[m1] if mid in set(orders[m2])]
+                restricted_m2 = [mid for mid in orders[m2] if mid in set(common)]
+                assert common == restricted_m2, (
+                    f"order disagreement between {m1} and {m2}"
+                )
+
+    def test_unknown_group_rejected(self, world):
+        endpoints, _ = build_groups(world, TWO_GROUPS)
+        with pytest.raises(ConfigurationError):
+            endpoints["a1"].amcast(("nope",), "x")
+
+    def test_clock_advances_past_finals(self, world):
+        endpoints, deliveries = build_groups(world, TWO_GROUPS)
+        world.run(until=1.0)
+        endpoints["a1"].amcast(("g1", "g2"), "first")
+        world.run(until=3.0)
+        # g2's clock has incorporated the final; a later message must
+        # order strictly after.
+        endpoints["b1"].amcast(("g1", "g2"), "second")
+        world.run(until=5.0)
+        assert [p for _, p in deliveries["b3"]] == ["first", "second"]

@@ -1,0 +1,257 @@
+"""Integration-grade tests for the MultiPaxos replica (on the sim runtime)."""
+
+import pytest
+
+from repro.consensus.replica import PaxosConfig, PaxosReplica
+from repro.errors import ConfigurationError
+from repro.runtime.sim import SimWorld
+from repro.storage.wal import WriteAheadLog
+
+
+def make_group(
+    world: SimWorld,
+    members=("a", "b", "c"),
+    static_leader="a",
+    config: PaxosConfig | None = None,
+    wals: dict | None = None,
+):
+    delivered = {m: [] for m in members}
+    replicas = {}
+    for member in members:
+        runtime = world.runtime_for(member)
+        member_config = config or PaxosConfig(static_leader=static_leader)
+        if wals is not None:
+            from dataclasses import replace
+
+            member_config = replace(member_config, wal=wals[member])
+        replica = PaxosReplica(
+            runtime,
+            "g",
+            list(members),
+            member_config,
+            on_deliver=lambda i, v, m=member: delivered[m].append((i, v)),
+        )
+        runtime.listen(lambda src, msg, r=replica: r.handle(src, msg))
+        replicas[member] = replica
+    return replicas, delivered
+
+
+class TestBasicAgreement:
+    def test_single_value_delivered_everywhere(self, world):
+        replicas, delivered = make_group(world)
+        for replica in replicas.values():
+            replica.start()
+        world.run(until=1.0)
+        replicas["a"].propose("v0")
+        world.run(until=2.0)
+        assert all(delivered[m] == [(0, "v0")] for m in delivered)
+
+    def test_stream_of_values_totally_ordered(self, world):
+        replicas, delivered = make_group(world)
+        for replica in replicas.values():
+            replica.start()
+        world.run(until=1.0)
+        for i in range(20):
+            replicas["a"].propose(f"v{i}")
+        world.run(until=5.0)
+        expected = [(i, f"v{i}") for i in range(20)]
+        assert all(delivered[m] == expected for m in delivered)
+
+    def test_follower_proposals_forwarded_to_leader(self, world):
+        replicas, delivered = make_group(world)
+        for replica in replicas.values():
+            replica.start()
+        world.run(until=1.0)
+        replicas["b"].propose("from-b")
+        replicas["c"].propose("from-c")
+        world.run(until=2.0)
+        values = [v for _, v in delivered["a"]]
+        assert sorted(values) == ["from-b", "from-c"]
+        assert delivered["a"] == delivered["b"] == delivered["c"]
+
+    def test_interleaved_proposals_from_all_members_agree(self, world):
+        replicas, delivered = make_group(world)
+        for replica in replicas.values():
+            replica.start()
+        world.run(until=1.0)
+        for i in range(9):
+            proposer = list(replicas.values())[i % 3]
+            proposer.propose(f"v{i}")
+            world.run_for(0.002)
+        world.run(until=3.0)
+        assert delivered["a"] == delivered["b"] == delivered["c"]
+        assert len(delivered["a"]) == 9
+
+    def test_values_survive_codec_roundtrip(self):
+        world = SimWorld(seed=2, codec_roundtrip=True)
+        replicas, delivered = make_group(world)
+        for replica in replicas.values():
+            replica.start()
+        world.run(until=1.0)
+        replicas["a"].propose({"nested": ["structure", 1, (2, 3)]})
+        world.run(until=2.0)
+        assert delivered["b"][0][1] == {"nested": ["structure", 1, (2, 3)]}
+
+
+class TestMembership:
+    def test_non_member_rejected(self, world):
+        with pytest.raises(ConfigurationError):
+            PaxosReplica(world.runtime_for("zz"), "g", ["a", "b", "c"])
+
+    def test_quorum_size(self, world):
+        replicas, _ = make_group(world)
+        assert replicas["a"].quorum == 2
+
+
+class TestFaultTolerance:
+    def test_progress_with_one_follower_down(self, world):
+        replicas, delivered = make_group(world)
+        for replica in replicas.values():
+            replica.start()
+        world.run(until=1.0)
+        world.crash("c")
+        replicas["a"].propose("v")
+        world.run(until=2.0)
+        assert delivered["a"] == [(0, "v")]
+        assert delivered["b"] == [(0, "v")]
+
+    def test_no_progress_without_quorum(self, world):
+        replicas, delivered = make_group(world)
+        for replica in replicas.values():
+            replica.start()
+        world.run(until=1.0)
+        world.crash("b")
+        world.crash("c")
+        replicas["a"].propose("v")
+        world.run(until=5.0)
+        assert delivered["a"] == []
+
+    def test_leader_failover_preserves_chosen_values(self, world):
+        config = PaxosConfig(
+            static_leader=None, heartbeat_interval=0.05, suspect_timeout=0.2
+        )
+        replicas, delivered = make_group(world, config=config)
+        for replica in replicas.values():
+            replica.start()
+        world.run(until=1.0)
+        replicas["a"].propose("before-crash")
+        world.run(until=2.0)
+        world.crash("a")
+        world.run(until=4.0)  # let b take over and finish phase 1
+        replicas["b"].propose("after-crash")
+        world.run(until=6.0)
+        assert delivered["b"] == [(0, "before-crash"), (1, "after-crash")]
+        assert delivered["c"] == delivered["b"]
+
+    def test_new_leader_adopts_value_accepted_by_minority(self, world):
+        """A value accepted at some acceptor must survive leader change."""
+        config = PaxosConfig(
+            static_leader=None, heartbeat_interval=0.05, suspect_timeout=0.2
+        )
+        replicas, delivered = make_group(world, config=config)
+        for replica in replicas.values():
+            replica.start()
+        world.run(until=1.0)
+        # Cut a<->c so only b (and a) accept; then crash a before Chosen
+        # reaches anyone else... simpler: propose and crash the leader
+        # immediately so 2b handling is underway.
+        replicas["a"].propose("maybe-chosen")
+        world.run_for(0.0015)  # Accept has reached b, 2b in flight
+        world.crash("a")
+        world.run(until=5.0)
+        survivors = delivered["b"]
+        if survivors:  # if recovered, it must be the original value
+            assert survivors[0][1] in ("maybe-chosen",)
+            assert delivered["c"] == delivered["b"]
+
+    def test_message_loss_recovered_by_retries(self):
+        world = SimWorld(seed=5, loss_probability=0.2)
+        config = PaxosConfig(static_leader="a", accept_retry=0.3, phase1_retry=0.3)
+        replicas, delivered = make_group(world, config=config)
+        for replica in replicas.values():
+            replica.start()
+        world.run(until=2.0)
+        for i in range(10):
+            replicas["a"].propose(f"v{i}")
+        world.run(until=20.0)
+        values = [v for _, v in delivered["a"]]
+        assert values == [f"v{i}" for i in range(10)]
+        assert delivered["b"] == delivered["a"]
+
+
+class TestLearningStrategies:
+    @pytest.mark.parametrize("broadcast", [False, True])
+    def test_both_strategies_agree(self, broadcast):
+        world = SimWorld(seed=3)
+        config = PaxosConfig(static_leader="a", accepted_broadcast=broadcast)
+        replicas, delivered = make_group(world, config=config)
+        for replica in replicas.values():
+            replica.start()
+        world.run(until=1.0)
+        for i in range(5):
+            replicas["b"].propose(f"v{i}")
+        world.run(until=3.0)
+        expected = [(i, f"v{i}") for i in range(5)]
+        assert all(delivered[m] == expected for m in delivered)
+
+    def test_broadcast_learning_is_faster_for_followers(self):
+        def follower_latency(broadcast):
+            world = SimWorld(seed=3)
+            config = PaxosConfig(static_leader="a", accepted_broadcast=broadcast)
+            replicas, delivered = make_group(world, config=config)
+            for replica in replicas.values():
+                replica.start()
+            world.run(until=1.0)
+            start = world.now
+            replicas["a"].propose("v")
+            while not delivered["b"]:
+                world.kernel.step()
+            return world.now - start
+
+        assert follower_latency(broadcast=True) < follower_latency(broadcast=False)
+
+
+class TestDurability:
+    def test_wal_recovery_replays_deliveries(self, world):
+        wals = {m: WriteAheadLog() for m in ("a", "b", "c")}
+        replicas, delivered = make_group(world, wals=wals)
+        for replica in replicas.values():
+            replica.start()
+        world.run(until=1.0)
+        for i in range(3):
+            replicas["a"].propose(f"v{i}")
+        world.run(until=2.0)
+        assert len(delivered["a"]) == 3
+        # "Restart" node a: a fresh replica recovering from the same WAL.
+        world2 = SimWorld(seed=9)
+        for peer in ("b", "c"):
+            world2.runtime_for(peer).listen(lambda src, msg: None)
+        redelivered = []
+        runtime = world2.runtime_for("a")
+        recovered = PaxosReplica(
+            runtime,
+            "g",
+            ["a", "b", "c"],
+            PaxosConfig(static_leader="a", wal=wals["a"]),
+            on_deliver=lambda i, v: redelivered.append((i, v)),
+        )
+        runtime.listen(lambda src, msg: recovered.handle(src, msg))
+        recovered.start()
+        assert redelivered == [(i, f"v{i}") for i in range(3)]
+        assert recovered.log.next_to_deliver == 3
+
+    def test_wal_survives_file_roundtrip(self, tmp_path):
+        world = SimWorld(seed=4)
+        wal_paths = {m: tmp_path / f"{m}.wal" for m in ("a", "b", "c")}
+        wals = {m: WriteAheadLog(path) for m, path in wal_paths.items()}
+        replicas, delivered = make_group(world, wals=wals)
+        for replica in replicas.values():
+            replica.start()
+        world.run(until=1.0)
+        replicas["a"].propose("durable")
+        world.run(until=2.0)
+        for wal in wals.values():
+            wal.close()
+        reopened = WriteAheadLog(wal_paths["b"])
+        assert len(reopened) == 1
+        reopened.close()

@@ -1,0 +1,75 @@
+"""Unit tests for the cluster directory."""
+
+import pytest
+
+from repro.core.directory import ClusterDirectory
+from repro.errors import ConfigurationError
+from repro.net.topology import EU, US_EAST, Topology
+
+
+@pytest.fixture
+def directory():
+    topology = Topology()
+    for name, region in [("s1", EU), ("s2", EU), ("s3", US_EAST),
+                         ("s4", US_EAST), ("s5", US_EAST), ("s6", EU),
+                         ("c1", EU)]:
+        topology.add(name, region)
+    return ClusterDirectory(
+        partitions={"p0": ["s1", "s2", "s3"], "p1": ["s4", "s5", "s6"]},
+        preferred={"p0": "s1", "p1": "s4"},
+        topology=topology,
+    )
+
+
+class TestValidation:
+    def test_preferred_must_replicate(self):
+        with pytest.raises(ConfigurationError):
+            ClusterDirectory(partitions={"p0": ["a"]}, preferred={"p0": "b"})
+
+    def test_partition_needs_servers(self):
+        with pytest.raises(ConfigurationError):
+            ClusterDirectory(partitions={"p0": []}, preferred={"p0": "a"})
+
+    def test_preferred_required(self):
+        with pytest.raises(ConfigurationError):
+            ClusterDirectory(partitions={"p0": ["a"]}, preferred={})
+
+
+class TestQueries:
+    def test_servers_of(self, directory):
+        assert directory.servers_of("p1") == ["s4", "s5", "s6"]
+        with pytest.raises(ConfigurationError):
+            directory.servers_of("p9")
+
+    def test_all_servers_deduplicated_in_order(self, directory):
+        assert directory.all_servers() == ["s1", "s2", "s3", "s4", "s5", "s6"]
+
+    def test_partition_of_server(self, directory):
+        assert directory.partition_of_server("s5") == "p1"
+        with pytest.raises(ConfigurationError):
+            directory.partition_of_server("zz")
+
+    def test_servers_union(self, directory):
+        assert directory.servers_union(("p0", "p1")) == [
+            "s1", "s2", "s3", "s4", "s5", "s6",
+        ]
+
+
+class TestProximityRouting:
+    def test_nearest_server_prefers_same_region(self, directory):
+        # Client in EU reading p1: s6 is p1's EU replica.
+        assert directory.nearest_server("p1", "c1") == "s6"
+
+    def test_nearest_server_same_partition(self, directory):
+        assert directory.nearest_server("p0", "c1") in ("s1", "s2")
+
+    def test_ranked_servers_order(self, directory):
+        ranked = directory.ranked_servers("p0", "c1")
+        assert set(ranked) == {"s1", "s2", "s3"}
+        assert ranked[-1] == "s3"  # the US-EAST replica is farthest
+
+    def test_unknown_origin_falls_back_to_preferred(self, directory):
+        assert directory.nearest_server("p0", "not-in-topology") == "s1"
+        ranked = directory.ranked_servers("p1", "not-in-topology")
+        assert ranked[0] == "s4"
+        assert set(ranked) == {"s4", "s5", "s6"}

@@ -1,0 +1,215 @@
+"""Unit-level tests of server behaviours (Algorithm 2) on small clusters."""
+
+from repro.core.client import Read
+from repro.core.config import DelayMode, SdurConfig, ServiceCosts
+from repro.core.messages import NoopTick
+from repro.core.transaction import Outcome
+from tests.conftest import make_cluster, run_txn, update_program
+
+
+def started_cluster(num_partitions=2, config=None, **kwargs):
+    cluster = make_cluster(num_partitions=num_partitions, config=config, **kwargs)
+    cluster.seed({f"{p}/k{i}": 0 for p in range(num_partitions) for i in range(5)})
+    client = cluster.add_client()
+    cluster.start()
+    cluster.world.run_for(0.5)
+    return cluster, client
+
+
+class TestSnapshotCounter:
+    def test_sc_advances_per_commit(self):
+        cluster, client = started_cluster()
+        for _ in range(3):
+            run_txn(cluster, client, update_program(["0/k0"]))
+        cluster.world.run_for(0.5)
+        for handle in cluster.servers.values():
+            if handle.partition == "p0":
+                assert handle.server.sc == 3
+
+    def test_global_commit_bumps_both_partitions(self):
+        cluster, client = started_cluster()
+        run_txn(cluster, client, update_program(["0/k0", "1/k0"]))
+        cluster.world.run_for(1.0)
+        assert cluster.servers["s1"].server.sc == 1
+        assert cluster.servers["s4"].server.sc == 1
+
+    def test_aborted_transaction_does_not_bump_sc(self):
+        cluster, client = started_cluster()
+        # Two conflicting concurrent transactions: the loser must not
+        # advance the snapshot counter.
+        done = []
+        client2 = cluster.add_client()
+        client.execute(update_program(["0/k0", "0/k1"]), done.append)
+        client2.execute(update_program(["0/k0", "0/k1"]), done.append)
+        cluster.world.run_for(2.0)
+        outcomes = sorted(r.outcome.value for r in done)
+        assert outcomes == ["abort", "commit"]
+        assert cluster.servers["s1"].server.sc == 1
+
+
+class TestCounters:
+    def test_dc_counts_every_delivery_commit_or_abort(self):
+        cluster, client = started_cluster()
+        done = []
+        client2 = cluster.add_client()
+        client.execute(update_program(["0/k0", "0/k1"]), done.append)
+        client2.execute(update_program(["0/k0", "0/k1"]), done.append)
+        cluster.world.run_for(2.0)
+        assert cluster.servers["s1"].server.dc == 2
+
+    def test_noop_ticks_advance_dc(self):
+        cluster, _ = started_cluster()
+        server = cluster.servers["s1"].server
+        before = server.dc
+        server.fabric.abcast("p0", NoopTick())
+        cluster.world.run_for(0.5)
+        assert server.dc == before + 1
+
+
+class TestStats:
+    def test_commit_and_abort_buckets(self):
+        cluster, client = started_cluster()
+        run_txn(cluster, client, update_program(["0/k0"]))
+        run_txn(cluster, client, update_program(["0/k0", "1/k0"]))
+        cluster.world.run_for(1.0)
+        stats = cluster.servers["s1"].server.stats
+        assert stats.committed_local == 1
+        assert stats.committed_global == 1
+        assert stats.aborted == 0
+
+    def test_certification_abort_counted(self):
+        cluster, client = started_cluster()
+        done = []
+        client2 = cluster.add_client()
+        client.execute(update_program(["0/k0", "0/k1"]), done.append)
+        client2.execute(update_program(["0/k0", "0/k1"]), done.append)
+        cluster.world.run_for(2.0)
+        stats = cluster.servers["s1"].server.stats
+        assert stats.aborted_certification + stats.aborted_reorder == 1
+
+
+class TestReadPath:
+    def test_read_routed_through_session_server(self):
+        cluster = make_cluster(num_partitions=2)
+        cluster.seed({"1/k": 42})
+        client = cluster.add_client(direct_reads=False, session_server="s1")
+        cluster.start()
+        cluster.world.run_for(0.5)
+        seen = {}
+
+        def program(txn):
+            seen["v"] = yield Read("1/k")
+
+        run_txn(cluster, client, program, read_only=True)
+        assert seen["v"] == 42
+        assert cluster.servers["s1"].server.stats.reads_routed == 1
+
+    def test_lagging_replica_holds_read_until_caught_up(self):
+        """A read at a snapshot the replica has not applied yet must wait,
+        not answer stale (Algorithm 2 retrieves 'most recent <= st')."""
+        cluster, client = started_cluster()
+        server = cluster.servers["s2"].server  # p0 follower
+        from repro.core.messages import ReadRequest
+        from repro.core.transaction import TxnId
+
+        run_txn(cluster, client, update_program(["0/k0"]))  # sc -> 1
+        cluster.world.run_for(0.5)
+        # Ask s2 for a FUTURE snapshot (2): must park, then answer after
+        # the next commit.
+        inbox = []
+        cluster.world.topology.add("probe", "us-east")
+        cluster.world.network.register("probe", lambda src, msg: inbox.append(msg))
+        request = ReadRequest(
+            tid=TxnId("probe", 1), op_id=0, key="0/k0", snapshot=2, reply_to="probe"
+        )
+        cluster.world.network.send("probe", "s2", request)
+        cluster.world.run_for(0.5)
+        assert inbox == []  # parked
+        run_txn(cluster, client, update_program(["0/k1"]))  # sc -> 2
+        cluster.world.run_for(0.5)
+        assert len(inbox) == 1
+        assert inbox[0].snapshot == 2
+
+
+class TestDelaying:
+    def test_fixed_delay_postpones_local_broadcast(self):
+        config = SdurConfig(delay_mode=DelayMode.FIXED, delay_fixed=0.2)
+        cluster, client = started_cluster(config=config)
+        result = run_txn(cluster, client, update_program(["0/k0", "1/k0"]))
+        assert result.committed
+        # Latency must include the 200 ms local-broadcast delay.
+        assert result.latency >= 0.2
+
+    def test_local_transactions_never_delayed(self):
+        config = SdurConfig(delay_mode=DelayMode.FIXED, delay_fixed=0.2)
+        cluster, client = started_cluster(config=config)
+        result = run_txn(cluster, client, update_program(["0/k0"]))
+        assert result.latency < 0.1
+
+    def test_auto_delay_uses_latency_estimate(self):
+        config = SdurConfig(delay_mode=DelayMode.AUTO)
+        cluster, client = started_cluster(config=config)
+        result = run_txn(cluster, client, update_program(["0/k0", "1/k0"]))
+        assert result.committed  # LAN estimate is ~1ms; just verify the path
+
+
+class TestThresholdChange:
+    def test_threshold_change_is_broadcast_and_applied(self):
+        cluster, _ = started_cluster()
+        server = cluster.servers["s1"].server
+        assert server.reorder_threshold == 0
+        server.request_threshold_change(16)
+        cluster.world.run_for(0.5)
+        for handle in cluster.servers.values():
+            if handle.partition == "p0":
+                assert handle.server.reorder_threshold == 16
+            else:
+                assert handle.server.reorder_threshold == 0
+
+
+class TestServiceCosts:
+    def test_apply_cost_slows_commits(self):
+        fast_cluster, fast_client = started_cluster()
+        slow_config = SdurConfig(costs=ServiceCosts(certify=0.01, apply=0.01))
+        slow_cluster, slow_client = started_cluster(config=slow_config)
+        fast = run_txn(fast_cluster, fast_client, update_program(["0/k0"]))
+        slow = run_txn(slow_cluster, slow_client, update_program(["0/k0"]))
+        assert slow.latency > fast.latency + 0.015
+
+    def test_costs_preserve_outcome_correctness(self):
+        config = SdurConfig(costs=ServiceCosts(read=0.001, certify=0.002, apply=0.003))
+        cluster, client = started_cluster(config=config)
+        result = run_txn(cluster, client, update_program(["0/k0", "1/k0"]))
+        assert result.outcome is Outcome.COMMIT
+
+
+class TestDuplicateDelivery:
+    def test_duplicate_commit_request_is_idempotent(self):
+        cluster, client = started_cluster()
+        result = run_txn(cluster, client, update_program(["0/k0"]))
+        # Replay the same projection through the broadcast: servers must
+        # ignore the duplicate (client retry path).
+        server = cluster.servers["s1"].server
+        record = None
+        for entry in server.window.records_after(0):
+            record = entry
+        assert record is not None
+        assert result.committed
+        sc_before = server.sc
+        # Rebuild an identical projection and redeliver it.
+        from repro.core.transaction import ReadsetDigest, TxnProjection
+
+        duplicate = TxnProjection(
+            tid=record.tid,
+            partition="p0",
+            readset=record.readset,
+            writeset={"0/k0": 999},
+            snapshot=0,
+            partitions=("p0",),
+            coordinator="s1",
+            client="",
+        )
+        server.fabric.abcast("p0", duplicate)
+        cluster.world.run_for(0.5)
+        assert server.sc == sc_before  # not applied twice
+        assert server.store.read_latest("0/k0").value != 999

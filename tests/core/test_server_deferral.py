@@ -1,0 +1,216 @@
+"""Direct tests of the deterministic-certification machinery.
+
+These drive one SdurServer by hand — crafted deliveries and votes, no
+Paxos, no client — to pin down the exact semantics of the snapshot gate,
+deferred verdicts, dooming, and dependency resolution (the protocol
+corrections documented in DESIGN.md).
+"""
+
+from repro.core.config import SdurConfig
+from repro.core.directory import ClusterDirectory
+from repro.core.messages import OutcomeNotice, Vote
+from repro.core.partitioning import PartitionMap
+from repro.core.server import SdurServer
+from repro.core.transaction import Outcome, ReadsetDigest, TxnId, TxnProjection
+from repro.net.topology import US_EAST, Topology
+from repro.runtime.sim import SimWorld
+
+
+class FakeFabric:
+    """Captures abcasts instead of running consensus."""
+
+    def __init__(self):
+        self.broadcasts = []
+
+    def abcast(self, partition, value):
+        self.broadcasts.append((partition, value))
+
+
+def make_server(world=None):
+    world = world or SimWorld(seed=1)
+    topology = Topology()
+    for name in ("s1", "s2", "q1", "q2", "client"):
+        topology.add(name, US_EAST)
+    directory = ClusterDirectory(
+        partitions={"p0": ["s1", "s2"], "p1": ["q1", "q2"]},
+        preferred={"p0": "s1", "p1": "q1"},
+        topology=topology,
+    )
+    runtime = world.runtime_for("s1")
+    sent = []
+    # Dumb sinks for everything s1 sends.
+    for name in ("s2", "q1", "q2", "client"):
+        world.network.register(name, lambda src, msg, n=name: sent.append((n, msg)))
+    server = SdurServer(
+        runtime=runtime,
+        partition="p0",
+        directory=directory,
+        partition_map=PartitionMap.by_index(2),
+        fabric=FakeFabric(),
+        config=SdurConfig(vote_timeout=None, gossip_interval=None),
+    )
+    runtime.listen(server.handle)
+    return world, server, sent
+
+
+def proj(seq, reads, writes, partitions=("p0", "p1"), snapshot=0, client="client"):
+    return TxnProjection(
+        tid=TxnId("c", seq),
+        partition="p0",
+        readset=ReadsetDigest.exact(reads),
+        writeset={k: seq for k in writes},
+        snapshot=snapshot,
+        partitions=tuple(partitions),
+        coordinator="s1",
+        client=client,
+    )
+
+
+def votes_sent(sent, seq):
+    return [
+        (node, msg)
+        for node, msg in sent
+        if isinstance(msg, Vote) and msg.tid == TxnId("c", seq)
+    ]
+
+
+def outcome_of(sent, seq):
+    for node, msg in sent:
+        if isinstance(msg, OutcomeNotice) and msg.tid == TxnId("c", seq):
+            return msg.outcome
+    return None
+
+
+class TestDeferral:
+    def test_conflicting_global_defers_its_vote(self):
+        world, server, sent = make_server()
+        server.on_adeliver(0, proj(1, reads=["a"], writes=["a"]))
+        world.run_for(0.1)
+        assert votes_sent(sent, 1), "first global votes immediately"
+        # g2 writes what g1 read: symmetric conflict -> defer, no vote yet.
+        server.on_adeliver(1, proj(2, reads=["a", "b"], writes=["b"], snapshot=0))
+        world.run_for(0.1)
+        assert not votes_sent(sent, 2)
+        assert server.stats.deferred == 1
+        entry = server.pending.get(TxnId("c", 2))
+        assert entry.deps == {TxnId("c", 1)}
+
+    def test_dep_abort_releases_commit_vote(self):
+        world, server, sent = make_server()
+        server.on_adeliver(0, proj(1, reads=["a"], writes=["a"]))
+        server.on_adeliver(1, proj(2, reads=["a", "b"], writes=["b"]))
+        world.run_for(0.1)
+        # p1 votes abort for g1: g1 aborts, the dependency evaporates.
+        server.handle("q1", Vote(tid=TxnId("c", 1), partition="p1", vote="abort"))
+        world.run_for(0.1)
+        assert outcome_of(sent, 1) == "abort"
+        g2_votes = votes_sent(sent, 2)
+        assert g2_votes and all(m.vote == "commit" for _, m in g2_votes)
+
+    def test_dep_commit_dooms_dependent(self):
+        world, server, sent = make_server()
+        server.on_adeliver(0, proj(1, reads=["a"], writes=["a"]))
+        server.on_adeliver(1, proj(2, reads=["a", "b"], writes=["b"]))
+        world.run_for(0.1)
+        server.handle("q1", Vote(tid=TxnId("c", 1), partition="p1", vote="commit"))
+        world.run_for(0.1)
+        assert outcome_of(sent, 1) == "commit"
+        g2_votes = votes_sent(sent, 2)
+        assert g2_votes and all(m.vote == "abort" for _, m in g2_votes)
+        # g2 was doomed and, being the new head with a known outcome,
+        # completed as an abort without waiting for remote votes.
+        assert TxnId("c", 2) not in server.pending
+        assert outcome_of(sent, 2) == "abort"
+        assert server.sc == 1  # only g1 applied
+
+    def test_doom_cascades_through_chains(self):
+        """g1 commits -> g2 (reads g1's write) doomed -> g3 (deferred on
+        g2) is released with a commit vote, because its only conflict was
+        with a transaction that will never apply."""
+        world, server, sent = make_server()
+        server.on_adeliver(0, proj(1, reads=["a"], writes=["a"]))
+        server.on_adeliver(1, proj(2, reads=["a", "b"], writes=["b"]))
+        server.on_adeliver(2, proj(3, reads=["b", "c"], writes=["c"]))
+        world.run_for(0.1)
+        assert server.stats.deferred == 2
+        assert not votes_sent(sent, 3)
+        server.handle("q1", Vote(tid=TxnId("c", 1), partition="p1", vote="commit"))
+        world.run_for(0.1)
+        assert [m.vote for _, m in votes_sent(sent, 2)] and all(
+            m.vote == "abort" for _, m in votes_sent(sent, 2)
+        )
+        g3_votes = votes_sent(sent, 3)
+        assert g3_votes and all(m.vote == "commit" for _, m in g3_votes)
+
+    def test_deferred_local_appends_no_leap(self):
+        world, server, sent = make_server()
+        server.on_adeliver(0, proj(1, reads=["a"], writes=["a"]))
+        # A local that read what the pending global wrote: deferred.
+        server.on_adeliver(1, proj(2, reads=["a", "z"], writes=["z"], partitions=("p0",)))
+        world.run_for(0.1)
+        assert server.pending.position_of(TxnId("c", 2)) == 1
+        # g1 aborts -> the local commits.
+        server.handle("q1", Vote(tid=TxnId("c", 1), partition="p1", vote="abort"))
+        world.run_for(0.1)
+        assert outcome_of(sent, 2) == "commit"
+        assert server.store.read_latest("z").value == 2
+
+
+class TestSnapshotGate:
+    def test_future_snapshot_stalls_delivery_until_sc_catches_up(self):
+        world, server, sent = make_server()
+        # Pending global g1 holds SC at 0.
+        server.on_adeliver(0, proj(1, reads=["a"], writes=["a"]))
+        # t2 was read at another replica that already applied g1: its
+        # snapshot (1) is ahead of this replica.
+        server.on_adeliver(
+            1, proj(2, reads=["b"], writes=["b"], partitions=("p0",), snapshot=1)
+        )
+        world.run_for(0.1)
+        assert len(server._stalled) == 1
+        assert server.dc == 1  # t2 not yet counted
+        # g1 commits -> SC reaches 1 -> the gate opens.
+        server.handle("q1", Vote(tid=TxnId("c", 1), partition="p1", vote="commit"))
+        world.run_for(0.1)
+        assert server.sc == 2
+        assert outcome_of(sent, 2) == "commit"
+        assert not server._stalled
+
+    def test_gate_preserves_delivery_order(self):
+        world, server, sent = make_server()
+        server.on_adeliver(0, proj(1, reads=["a"], writes=["a"]))
+        server.on_adeliver(
+            1, proj(2, reads=["b"], writes=["b"], partitions=("p0",), snapshot=1)
+        )
+        # A third delivery with a satisfied snapshot still queues behind.
+        server.on_adeliver(
+            2, proj(3, reads=["c"], writes=["c"], partitions=("p0",), snapshot=0)
+        )
+        world.run_for(0.1)
+        assert len(server._stalled) == 2
+        server.handle("q1", Vote(tid=TxnId("c", 1), partition="p1", vote="commit"))
+        world.run_for(0.1)
+        # Commit versions follow delivery order: g1=1, t2=2, t3=3.
+        assert server.store.read_latest("b").version == 2
+        assert server.store.read_latest("c").version == 3
+
+
+class TestVoteBuffering:
+    def test_early_votes_apply_on_delivery(self):
+        world, server, sent = make_server()
+        server.handle("q1", Vote(tid=TxnId("c", 1), partition="p1", vote="commit"))
+        server.on_adeliver(0, proj(1, reads=["a"], writes=["a"]))
+        world.run_for(0.1)
+        assert outcome_of(sent, 1) == "commit"
+
+    def test_early_votes_for_deferred_txn_apply_at_decision(self):
+        world, server, sent = make_server()
+        server.on_adeliver(0, proj(1, reads=["a"], writes=["a"]))
+        # p1's commit vote for g2 arrives before g2 is even decided here.
+        server.handle("q1", Vote(tid=TxnId("c", 2), partition="p1", vote="commit"))
+        server.on_adeliver(1, proj(2, reads=["a", "b"], writes=["b"]))
+        world.run_for(0.1)
+        assert not votes_sent(sent, 2)  # still deferred
+        server.handle("q1", Vote(tid=TxnId("c", 1), partition="p1", vote="abort"))
+        world.run_for(0.1)
+        assert outcome_of(sent, 2) == "commit"

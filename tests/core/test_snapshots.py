@@ -1,0 +1,159 @@
+"""Unit + property tests for the globally-consistent snapshot builder."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.messages import CommitGossip
+from repro.core.snapshots import GlobalSnapshotBuilder
+from repro.core.transaction import TxnId
+from repro.errors import ConfigurationError
+
+
+def tid(n):
+    return TxnId("c", n)
+
+
+@pytest.fixture
+def builder():
+    return GlobalSnapshotBuilder(["p0", "p1"], "p0")
+
+
+class TestBasics:
+    def test_own_partition_must_be_listed(self):
+        with pytest.raises(ConfigurationError):
+            GlobalSnapshotBuilder(["p0"], "p9")
+
+    def test_initial_vector_is_zero(self, builder):
+        assert builder.vector() == {"p0": 0, "p1": 0}
+
+    def test_local_commits_advance_own_entry(self, builder):
+        builder.on_local_commit(tid(1), 1, ("p0",), is_global=False)
+        builder.on_local_commit(tid(2), 2, ("p0",), is_global=False)
+        assert builder.vector() == {"p0": 2, "p1": 0}
+
+    def test_gossip_advances_remote_entry(self, builder):
+        builder.on_gossip(CommitGossip(partition="p1", sc=7))
+        assert builder.vector() == {"p0": 0, "p1": 7}
+
+    def test_gossip_for_unknown_partition_ignored(self, builder):
+        builder.on_gossip(CommitGossip(partition="p9", sc=5))
+        assert builder.vector() == {"p0": 0, "p1": 0}
+
+    def test_gossip_is_monotone(self, builder):
+        builder.on_gossip(CommitGossip(partition="p1", sc=7))
+        builder.on_gossip(CommitGossip(partition="p1", sc=3))  # stale
+        assert builder.vector()["p1"] == 7
+
+
+class TestAtomicity:
+    def test_vector_excludes_half_visible_global(self, builder):
+        """A global committed locally but with unknown remote version must
+        be hidden: the local entry is lowered below it."""
+        builder.on_local_commit(tid(9), 3, ("p0", "p1"), is_global=True)
+        vector = builder.vector()
+        assert vector["p0"] == 2  # lowered below version 3
+
+    def test_vector_includes_fully_known_global(self, builder):
+        builder.on_local_commit(tid(9), 3, ("p0", "p1"), is_global=True)
+        builder.on_gossip(
+            CommitGossip(
+                partition="p1", sc=5, globals_committed=((tid(9), 4, ("p0", "p1")),)
+            )
+        )
+        assert builder.vector() == {"p0": 3, "p1": 5}
+
+    def test_remote_global_beyond_local_knowledge_is_hidden(self, builder):
+        # p1 committed global t at version 2, but p0's version is unknown.
+        builder.on_gossip(
+            CommitGossip(
+                partition="p1", sc=4, globals_committed=((tid(5), 2, ("p0", "p1")),)
+            )
+        )
+        vector = builder.vector()
+        assert vector["p1"] == 1  # lowered below the split global
+
+    def test_cascading_lowering(self, builder):
+        """Hiding one global can force hiding another (fixpoint)."""
+        # t1 fully known at (p0:2, p1:2); t2 known only at p0:3.
+        builder.on_local_commit(tid(1), 2, ("p0", "p1"), is_global=True)
+        builder.on_local_commit(tid(2), 3, ("p0", "p1"), is_global=True)
+        builder.on_gossip(
+            CommitGossip(
+                partition="p1", sc=9, globals_committed=((tid(1), 2, ("p0", "p1")),)
+            )
+        )
+        vector = builder.vector()
+        assert vector["p0"] == 2  # t2 hidden, t1 visible
+        assert vector["p1"] == 9
+
+    def test_gossip_payload_carries_own_globals(self, builder):
+        builder.on_local_commit(tid(1), 1, ("p0", "p1"), is_global=True)
+        payload = builder.gossip_payload()
+        assert payload.partition == "p0"
+        assert payload.sc == 1
+        assert payload.globals_committed == ((tid(1), 1, ("p0", "p1")),)
+
+
+class TestPropertyNeverSplits:
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data())
+    def test_vector_never_splits_a_global(self, data):
+        """Under any interleaving of commits and partial gossip, the
+        vector never includes a global at one partition and excludes it
+        at another *once the inclusion is known to the builder*."""
+        partitions = ["p0", "p1", "p2"]
+        builder = GlobalSnapshotBuilder(partitions, "p0")
+        rng = random.Random(data.draw(st.integers(0, 2**20)))
+        num_txns = data.draw(st.integers(1, 25))
+        # Generate a ground-truth history: each global txn gets a commit
+        # version in each involved partition.
+        versions = {p: 0 for p in partitions}
+        truth = {}
+        for n in range(num_txns):
+            involved = tuple(sorted(rng.sample(partitions, 2)))
+            commit_at = {}
+            for p in involved:
+                versions[p] += 1
+                commit_at[p] = versions[p]
+            truth[tid(n)] = (involved, commit_at)
+        # Deliver faithful gossip: each partition advertises a random
+        # number of prefixes of its history, each listing EVERY global
+        # up to its sc (the real payload's completeness contract).
+        for p in partitions:
+            for _ in range(rng.randrange(0, 3)):
+                point = rng.randint(0, versions[p])
+                globals_upto = tuple(
+                    (txn_id, commit_at[q], involved)
+                    for txn_id, (involved, commit_at) in truth.items()
+                    for q in involved
+                    if q == p and commit_at[q] <= point
+                )
+                builder.on_gossip(
+                    CommitGossip(
+                        partition=p,
+                        sc=point,
+                        globals_committed=globals_upto,
+                        complete_from=0,
+                    )
+                )
+        vector = builder.vector()
+        for txn_id, (involved, commit_at) in truth.items():
+            visible = [vector.get(p, 0) >= commit_at[p] for p in involved]
+            if any(visible):
+                assert all(visible), f"{txn_id} split by vector {vector}"
+
+    def test_incomplete_gossip_does_not_advance_usable_counter(self, builder):
+        """A payload whose completeness range does not connect to the
+        watermark must not let sc leak into the vector (it could hide
+        un-listed globals)."""
+        builder.on_gossip(
+            CommitGossip(partition="p1", sc=10, complete_from=5)  # gap: (5, 10]
+        )
+        assert builder.vector()["p1"] == 0
+        # Once the gap is filled, the counter becomes usable.
+        builder.on_gossip(CommitGossip(partition="p1", sc=5, complete_from=0))
+        builder.on_gossip(CommitGossip(partition="p1", sc=10, complete_from=5))
+        assert builder.vector()["p1"] == 10

@@ -1,0 +1,112 @@
+"""Smoke tests of the experiment harness: tiny runs, shape sanity.
+
+The full paper-scale sweeps live in ``benchmarks/``; here each
+experiment's machinery is exercised with minimal parameters and the
+qualitative shape assertions that define "reproduced" are checked where
+they are cheap enough.
+"""
+
+import pytest
+
+from repro.core.config import DelayMode
+from repro.experiments.common import ExperimentTable, GeoRunParams, run_geo_microbench
+from repro.geo.analytical import analytical_latencies
+
+
+def tiny(params: GeoRunParams) -> GeoRunParams:
+    from dataclasses import replace
+
+    return replace(params, clients_per_partition=4, warmup=1.0, measure=6.0, drain=2.0)
+
+
+class TestGeoRunner:
+    def test_result_row_fields(self):
+        result = run_geo_microbench(tiny(GeoRunParams(global_fraction=0.1, seed=3)))
+        row = result.row()
+        for field in ("tput_total", "local_p99_ms", "global_avg_ms", "aborts"):
+            assert field in row
+        assert result.total.committed > 0
+
+    def test_convoy_effect_shape(self):
+        """F2's headline: globals inflate locals' tail in WAN 1."""
+        base = run_geo_microbench(tiny(GeoRunParams(global_fraction=0.0, seed=3)))
+        mixed = run_geo_microbench(tiny(GeoRunParams(global_fraction=0.10, seed=3)))
+        assert mixed.locals_.latency.p99 > 2.0 * base.locals_.latency.p99
+
+    def test_wan2_less_sensitive_than_wan1(self):
+        wan1 = run_geo_microbench(tiny(GeoRunParams("wan1", global_fraction=0.10, seed=3)))
+        wan2 = run_geo_microbench(tiny(GeoRunParams("wan2", global_fraction=0.10, seed=3)))
+        wan1_base = run_geo_microbench(tiny(GeoRunParams("wan1", global_fraction=0.0, seed=3)))
+        wan2_base = run_geo_microbench(tiny(GeoRunParams("wan2", global_fraction=0.0, seed=3)))
+        wan1_blowup = wan1.locals_.latency.p99 / wan1_base.locals_.latency.p99
+        wan2_blowup = wan2.locals_.latency.p99 / wan2_base.locals_.latency.p99
+        assert wan1_blowup > wan2_blowup
+
+    def test_reordering_rescues_locals(self):
+        """F4's headline: a well-sized threshold cuts locals' p99
+        substantially while leaving globals within ~25%."""
+        base = run_geo_microbench(tiny(GeoRunParams(global_fraction=0.10, seed=3)))
+        reordered = run_geo_microbench(
+            tiny(GeoRunParams(global_fraction=0.10, reorder_threshold=16, seed=3))
+        )
+        assert reordered.locals_.latency.p99 < 0.7 * base.locals_.latency.p99
+        assert reordered.globals_.latency.mean < 1.25 * base.globals_.latency.mean
+
+    def test_delaying_helps_at_one_percent(self):
+        """F3's headline: delaying reduces locals' tail at 1% globals."""
+        base = run_geo_microbench(
+            tiny(GeoRunParams(global_fraction=0.01, seed=9, measure=10.0))
+        )
+        delayed = run_geo_microbench(
+            tiny(
+                GeoRunParams(
+                    global_fraction=0.01,
+                    delay_mode=DelayMode.FIXED,
+                    delay_fixed=0.04,
+                    seed=9,
+                    measure=10.0,
+                )
+            )
+        )
+        assert delayed.locals_.latency.mean <= base.locals_.latency.mean * 1.05
+
+    def test_unknown_deployment_rejected(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            run_geo_microbench(GeoRunParams(deployment="wan9"))
+
+
+class TestExperimentTable:
+    def test_render_aligns_columns(self):
+        table = ExperimentTable(
+            "T0",
+            "demo",
+            rows=[{"a": 1, "long_column": "x"}, {"a": 22, "long_column": "yyy"}],
+            notes=["a note"],
+        )
+        text = table.render()
+        assert "T0: demo" in text
+        assert "long_column" in text
+        assert "note: a note" in text
+
+    def test_empty_rows_render(self):
+        assert "empty" in ExperimentTable("T0", "empty", rows=[]).render()
+
+    def test_extra_info_payload(self):
+        table = ExperimentTable("F2", "t", rows=[{"x": 1}])
+        info = table.extra_info()
+        assert info["experiment"] == "F2"
+        assert info["rows"] == [{"x": 1}]
+
+
+class TestAnalyticalTable:
+    def test_t1_rows_complete(self):
+        for name in ("wan1", "wan2"):
+            row = analytical_latencies(name, 0.005, 0.05).row()
+            assert set(row) >= {
+                "deployment",
+                "local_commit_ms",
+                "global_commit_ms",
+                "remote_read_ms",
+            }

@@ -1,0 +1,198 @@
+"""Checkpointing: bounded recovery, WAL compaction, state transfer."""
+
+import pytest
+
+from repro.consensus.replica import PaxosConfig
+from repro.core.checkpoint import (
+    CheckpointReply,
+    CheckpointRequest,
+    ServerCheckpoint,
+)
+from repro.core.config import SdurConfig
+from repro.core.partitioning import PartitionMap
+from repro.errors import ProtocolError
+from repro.geo.deployments import lan_deployment
+from repro.harness.cluster import build_cluster
+from repro.storage.wal import WriteAheadLog
+from tests.conftest import run_txn, update_program
+
+
+def checkpointing_cluster(wals, seed=3, checkpoint_interval=0.2):
+    deployment = lan_deployment(2)
+
+    def factory(node_id, partition):
+        wals.setdefault(node_id, WriteAheadLog())
+        return PaxosConfig(
+            static_leader=deployment.directory.preferred_of(partition),
+            wal=wals[node_id],
+        )
+
+    return build_cluster(
+        deployment,
+        PartitionMap.by_index(2),
+        SdurConfig(checkpoint_interval=checkpoint_interval),
+        seed=seed,
+        intra_delay=0.001,
+        paxos_config_factory=factory,
+    )
+
+
+class TestCheckpointTaking:
+    def test_periodic_checkpoint_at_quiescence(self):
+        wals = {}
+        cluster = checkpointing_cluster(wals)
+        client = cluster.add_client()
+        cluster.start()
+        cluster.world.run_for(0.5)
+        for _ in range(4):
+            run_txn(cluster, client, update_program(["0/x"]))
+        cluster.world.run_for(1.0)  # a few checkpoint periods
+        server = cluster.servers["s1"].server
+        assert server.stats.checkpoints >= 1
+        assert server.latest_checkpoint is not None
+        checkpoint = ServerCheckpoint.from_bytes(server.latest_checkpoint)
+        assert checkpoint.sc == 4
+        assert dict(checkpoint.chains)["0/x"][-1][1] == 4
+
+    def test_checkpoint_compacts_the_wal(self):
+        wals = {}
+        cluster = checkpointing_cluster(wals)
+        client = cluster.add_client()
+        cluster.start()
+        cluster.world.run_for(0.5)
+        for _ in range(6):
+            run_txn(cluster, client, update_program(["0/x"]))
+        size_before = len(wals["s1"])
+        cluster.world.run_for(1.0)
+        assert len(wals["s1"]) < size_before
+
+    def test_checkpoint_requires_quiescence(self):
+        wals = {}
+        cluster = checkpointing_cluster(wals, checkpoint_interval=None)
+        client = cluster.add_client()
+        cluster.start()
+        cluster.world.run_for(0.5)
+        server = cluster.servers["s1"].server
+        # Inject a pending entry, then demand a checkpoint.
+        client.execute(update_program(["0/x", "1/y"]), lambda r: None)
+        # Drive only until the projection is pending (votes not yet in).
+        while not server.pending and cluster.world.kernel.pending_count:
+            cluster.world.kernel.step()
+        if server.pending:
+            with pytest.raises(ProtocolError):
+                server.take_checkpoint()
+
+    def test_restore_requires_fresh_server(self):
+        wals = {}
+        cluster = checkpointing_cluster(wals)
+        client = cluster.add_client()
+        cluster.start()
+        cluster.world.run_for(0.5)
+        run_txn(cluster, client, update_program(["0/x"]))
+        cluster.world.run_for(1.0)
+        server = cluster.servers["s1"].server
+        with pytest.raises(ProtocolError):
+            server.restore_checkpoint(server.latest_checkpoint)
+
+
+class TestCheckpointedRecovery:
+    def test_restart_from_checkpoint_plus_wal_suffix(self):
+        wals = {}
+        cluster = checkpointing_cluster(wals)
+        client = cluster.add_client()
+        cluster.start()
+        cluster.world.run_for(0.5)
+        for _ in range(5):
+            run_txn(cluster, client, update_program(["0/x"]))
+        cluster.world.run_for(1.0)  # checkpoint + compact
+        # More commits AFTER the checkpoint: these live only in the WAL.
+        for _ in range(3):
+            run_txn(cluster, client, update_program(["0/x"]))
+        cluster.world.run_for(0.3)
+        blobs = {
+            name: handle.server.latest_checkpoint
+            for name, handle in cluster.servers.items()
+        }
+
+        restarted = checkpointing_cluster(wals, seed=7)
+        for name in restarted.servers:
+            if blobs[name] is not None:
+                restarted.restore_server(name, blobs[name])
+        restarted.start()
+        restarted.world.run_for(2.0)
+        for name, handle in restarted.servers.items():
+            if handle.partition == "p0":
+                assert handle.server.store.read_latest("0/x").value == 8
+                assert handle.server.sc == 8
+
+    def test_recovered_cluster_commits_new_transactions(self):
+        wals = {}
+        cluster = checkpointing_cluster(wals)
+        client = cluster.add_client()
+        cluster.start()
+        cluster.world.run_for(0.5)
+        for _ in range(4):
+            run_txn(cluster, client, update_program(["0/x"]))
+        cluster.world.run_for(1.0)
+        blobs = {
+            name: handle.server.latest_checkpoint
+            for name, handle in cluster.servers.items()
+        }
+        restarted = checkpointing_cluster(wals, seed=8)
+        for name in restarted.servers:
+            if blobs[name] is not None:
+                restarted.restore_server(name, blobs[name])
+        new_client = restarted.add_client()
+        restarted.start()
+        restarted.world.run_for(1.0)
+        result = run_txn(restarted, new_client, update_program(["0/x", "1/y"]))
+        assert result.committed
+        assert restarted.servers["s1"].server.store.read_latest("0/x").value == 5
+
+
+class TestStateTransfer:
+    def test_replacement_replica_bootstraps_from_peer_checkpoint(self):
+        """A fresh replica (empty WAL) installs a peer's checkpoint,
+        advances its Paxos cursor, and catches up via LearnRequest."""
+        wals = {}
+        cluster = checkpointing_cluster(wals)
+        client = cluster.add_client()
+        cluster.start()
+        cluster.world.run_for(0.5)
+        for _ in range(5):
+            run_txn(cluster, client, update_program(["0/x"]))
+        cluster.world.run_for(1.0)  # checkpoint exists
+
+        # Fetch s1's checkpoint over the network, as an operator would.
+        replies = []
+        cluster.world.topology.add("operator", "us-east")
+        cluster.world.network.register("operator", lambda src, msg: replies.append(msg))
+        cluster.world.network.send("operator", "s1", CheckpointRequest(reply_to="operator"))
+        cluster.world.run_for(0.2)
+        assert replies and isinstance(replies[0], CheckpointReply)
+        blob = replies[0].blob
+        assert blob is not None
+
+        # "Replace" s2: a new cluster where s2 starts empty (no WAL, no
+        # checkpoint) and bootstraps from s1's checkpoint.
+        surviving_wals = {name: wal for name, wal in wals.items() if name != "s2"}
+        restarted = checkpointing_cluster(surviving_wals, seed=9)
+        blobs = {
+            name: handle.server.latest_checkpoint
+            for name, handle in cluster.servers.items()
+        }
+        for name in restarted.servers:
+            if name == "s2":
+                restarted.restore_server("s2", blob)  # the peer's checkpoint
+            elif blobs[name] is not None:
+                restarted.restore_server(name, blobs[name])
+        restarted.start()
+        restarted.world.run_for(2.0)
+        # s2 state matches the group despite never replaying old history.
+        assert restarted.servers["s2"].server.store.read_latest("0/x").value == 5
+        # And it participates in new commits.
+        new_client = restarted.add_client()
+        result = run_txn(restarted, new_client, update_program(["0/x"]))
+        assert result.committed
+        restarted.world.run_for(1.0)
+        assert restarted.servers["s2"].server.store.read_latest("0/x").value == 6

@@ -1,0 +1,116 @@
+"""T1: the simulator reproduces Figure 1's closed-form latencies.
+
+Single unloaded client, uniform δ/Δ, zero CPU costs, coordinator-relay
+Paxos (the default).  Measured commit latency (execution phase of 2δ for
+the two reads subtracted) must match:
+
+* WAN 1 local:  4δ          (exact)
+* WAN 1 global: 4δ + 2Δ     (exact)
+* WAN 2 local:  2δ + 2Δ     (exact)
+* WAN 2 global: between 3δ+2Δ (broadcast learning) and 2δ+4Δ (relay —
+  the remote coordinator's vote travels one Δ after its 2Δ decision),
+  bracketing the paper's 3δ+3Δ.
+"""
+
+import pytest
+
+from repro.consensus.replica import PaxosConfig
+from repro.core.partitioning import PartitionMap
+from repro.core.config import SdurConfig
+from repro.geo.analytical import analytical_latencies
+from repro.geo.deployments import wan1_deployment, wan2_deployment
+from repro.harness.cluster import SdurCluster
+from repro.net.topology import RegionLatencyModel
+from repro.runtime.sim import SimWorld
+from tests.conftest import run_txn, update_program
+
+DELTA = 0.005
+INTER = 0.060
+
+
+def measure(deployment_name: str, is_global: bool, accepted_broadcast: bool = False) -> float:
+    deployment = wan1_deployment(2) if deployment_name == "wan1" else wan2_deployment(2)
+    world = SimWorld(
+        topology=deployment.topology,
+        latency=RegionLatencyModel.uniform(deployment.topology, DELTA, INTER),
+        seed=13,
+    )
+    cluster = SdurCluster(world, deployment, PartitionMap.by_index(2), SdurConfig())
+    for partition in deployment.partition_ids:
+        for node in deployment.directory.servers_of(partition):
+            cluster._add_server(
+                node,
+                partition,
+                PaxosConfig(
+                    static_leader=deployment.directory.preferred_of(partition),
+                    accepted_broadcast=accepted_broadcast,
+                ),
+            )
+    client = cluster.add_client(region=deployment.preferred_region["p0"])
+    cluster.start()
+    world.run_for(1.0)
+    keys = ["0/a", "1/b"] if is_global else ["0/a", "0/b"]
+    result = run_txn(cluster, client, update_program(keys))
+    assert result.committed
+    return result.latency - 2 * DELTA  # strip the read round trip
+
+
+class TestFigure1:
+    def test_wan1_local_is_4_delta(self):
+        expected = analytical_latencies("wan1", DELTA, INTER).local_commit
+        assert measure("wan1", is_global=False) == pytest.approx(expected, abs=1e-3)
+
+    def test_wan1_global_is_4_delta_plus_2_inter(self):
+        expected = analytical_latencies("wan1", DELTA, INTER).global_commit
+        assert measure("wan1", is_global=True) == pytest.approx(expected, abs=1e-3)
+
+    def test_wan2_local_is_2_delta_plus_2_inter(self):
+        expected = analytical_latencies("wan2", DELTA, INTER).local_commit
+        assert measure("wan2", is_global=False) == pytest.approx(expected, abs=1e-3)
+
+    def test_wan2_global_brackets_papers_formula(self):
+        paper = analytical_latencies("wan2", DELTA, INTER).global_commit  # 3δ+3Δ
+        relay = measure("wan2", is_global=True, accepted_broadcast=False)
+        broadcast = measure("wan2", is_global=True, accepted_broadcast=True)
+        assert broadcast == pytest.approx(3 * DELTA + 2 * INTER, abs=2e-3)
+        assert relay == pytest.approx(2 * DELTA + 4 * INTER, abs=2e-3)
+        assert broadcast <= paper <= relay
+
+    def test_remote_read_is_2_delta(self):
+        """A global transaction reads the remote partition via its
+        co-located replica within 2δ (paper §IV-B)."""
+        deployment = wan1_deployment(2)
+        world = SimWorld(
+            topology=deployment.topology,
+            latency=RegionLatencyModel.uniform(deployment.topology, DELTA, INTER),
+            seed=13,
+        )
+        cluster = SdurCluster(world, deployment, PartitionMap.by_index(2), SdurConfig())
+        for partition in deployment.partition_ids:
+            for node in deployment.directory.servers_of(partition):
+                cluster._add_server(
+                    node,
+                    partition,
+                    PaxosConfig(static_leader=deployment.directory.preferred_of(partition)),
+                )
+        # No snapshot-vector round trip: measure the raw remote read.
+        client = cluster.add_client(region="eu", readonly_snapshot=False)
+        cluster.start()
+        world.run_for(1.0)
+        from repro.core.client import Read
+
+        def program(txn):
+            yield Read("1/remote")
+
+        result = run_txn(cluster, client, program, read_only=True)
+        assert result.latency == pytest.approx(2 * DELTA, abs=1e-3)
+
+    def test_fault_tolerance_columns(self):
+        wan1 = analytical_latencies("wan1", DELTA, INTER)
+        wan2 = analytical_latencies("wan2", DELTA, INTER)
+        assert wan1.tolerates_datacenter_failure and not wan1.tolerates_region_failure
+        assert wan2.tolerates_datacenter_failure and wan2.tolerates_region_failure
+
+    def test_unknown_deployment_rejected(self):
+        with pytest.raises(ValueError):
+            analytical_latencies("wan9", DELTA, INTER)

@@ -1,0 +1,75 @@
+"""Unit tests for latency statistics."""
+
+import pytest
+
+from repro.metrics.stats import LatencySummary, cdf_points, percentile
+
+
+class TestPercentile:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_out_of_range_q_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 150)
+
+    def test_single_sample(self):
+        assert percentile([3.0], 99) == 3.0
+
+    def test_median_of_odd(self):
+        assert percentile([1, 3, 2], 50) == 2
+
+    def test_interpolation(self):
+        assert percentile([0, 10], 25) == pytest.approx(2.5)
+
+    def test_extremes(self):
+        data = list(range(101))
+        assert percentile(data, 0) == 0
+        assert percentile(data, 100) == 100
+
+    def test_matches_numpy(self):
+        import numpy as np
+
+        data = [0.3, 1.7, 2.2, 9.9, 4.1, 0.05]
+        for q in (1, 25, 50, 75, 99):
+            assert percentile(data, q) == pytest.approx(float(np.percentile(data, q)))
+
+    def test_unsorted_input_ok(self):
+        assert percentile([5, 1, 3], 50) == 3
+
+
+class TestSummary:
+    def test_empty_summary_is_zeros(self):
+        summary = LatencySummary.from_samples([])
+        assert summary.count == 0
+        assert summary.mean == 0.0
+
+    def test_fields(self):
+        summary = LatencySummary.from_samples([0.010, 0.020, 0.030])
+        assert summary.count == 3
+        assert summary.mean == pytest.approx(0.020)
+        assert summary.p50 == pytest.approx(0.020)
+        assert summary.maximum == 0.030
+
+    def test_ms_conversion(self):
+        summary = LatencySummary.from_samples([0.0321])
+        assert summary.ms("mean") == pytest.approx(32.1)
+
+
+class TestCdf:
+    def test_empty(self):
+        assert cdf_points([]) == []
+
+    def test_small_sample_full_resolution(self):
+        points = cdf_points([3.0, 1.0, 2.0])
+        assert points == [(1.0, pytest.approx(1 / 3)), (2.0, pytest.approx(2 / 3)), (3.0, 1.0)]
+
+    def test_downsampled_monotone_and_ends_at_one(self):
+        points = cdf_points(range(1000), num_points=50)
+        assert len(points) == 50
+        fractions = [f for _, f in points]
+        assert fractions == sorted(fractions)
+        assert fractions[-1] == pytest.approx(1.0)
+        values = [v for v, _ in points]
+        assert values == sorted(values)

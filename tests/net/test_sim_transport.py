@@ -1,0 +1,145 @@
+"""Unit tests for the simulated network."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.errors import UnknownNodeError
+from repro.net.message import Message, message
+from repro.net.sim_transport import SimNetwork
+from repro.sim.kernel import Kernel
+from repro.sim.latency import ConstantLatency
+from repro.sim.rng import RngRegistry
+
+
+@message
+@dataclass(frozen=True)
+class _Hello(Message):
+    text: str = "hi"
+
+
+def make_net(loss=0.0, roundtrip=False, latency=0.01):
+    kernel = Kernel()
+    net = SimNetwork(
+        kernel,
+        ConstantLatency(latency),
+        RngRegistry(1),
+        codec_roundtrip=roundtrip,
+        loss_probability=loss,
+    )
+    return kernel, net
+
+
+class TestDelivery:
+    def test_message_arrives_after_latency(self):
+        kernel, net = make_net()
+        inbox = []
+        net.register("b", lambda src, msg: inbox.append((kernel.now, src, msg)))
+        net.register("a", lambda src, msg: None)
+        net.send("a", "b", _Hello())
+        kernel.run()
+        assert inbox == [(0.01, "a", _Hello())]
+
+    def test_send_to_unregistered_node_raises(self):
+        _, net = make_net()
+        with pytest.raises(UnknownNodeError):
+            net.send("a", "ghost", _Hello())
+
+    def test_fifo_not_guaranteed_but_order_by_latency(self):
+        kernel, net = make_net()
+        inbox = []
+        net.register("b", lambda src, msg: inbox.append(msg.text))
+        net.send("a", "b", _Hello("first"))
+        net.send("a", "b", _Hello("second"))
+        kernel.run()
+        assert inbox == ["first", "second"]
+
+    def test_stats_counters(self):
+        kernel, net = make_net()
+        net.register("b", lambda src, msg: None)
+        net.send("a", "b", _Hello())
+        kernel.run()
+        assert net.messages_sent == 1
+        assert net.messages_delivered == 1
+        assert net.messages_dropped == 0
+
+
+class TestCodecRoundtrip:
+    def test_message_is_reencoded(self):
+        kernel, net = make_net(roundtrip=True)
+        inbox = []
+        net.register("b", lambda src, msg: inbox.append(msg))
+        original = _Hello("payload")
+        net.send("a", "b", original)
+        kernel.run()
+        assert inbox[0] == original
+        assert inbox[0] is not original  # a fresh decoded object
+        assert net.bytes_sent > 0
+
+
+class TestFailures:
+    def test_crashed_sender_drops(self):
+        kernel, net = make_net()
+        inbox = []
+        net.register("b", lambda src, msg: inbox.append(msg))
+        net.crash("a")
+        net.send("a", "b", _Hello())
+        kernel.run()
+        assert inbox == []
+        assert net.messages_dropped == 1
+
+    def test_crashed_receiver_drops(self):
+        kernel, net = make_net()
+        net.register("b", lambda src, msg: pytest.fail("delivered to crashed node"))
+        net.crash("b")
+        net.send("a", "b", _Hello())
+        kernel.run()
+
+    def test_crash_during_flight_drops_in_flight_messages(self):
+        kernel, net = make_net()
+        inbox = []
+        net.register("b", lambda src, msg: inbox.append(msg))
+        net.send("a", "b", _Hello())
+        kernel.schedule(0.005, net.crash, "b")  # crash before delivery at 0.01
+        kernel.run()
+        assert inbox == []
+
+    def test_cut_link_drops_both_directions_until_healed(self):
+        kernel, net = make_net()
+        inbox = []
+        net.register("a", lambda src, msg: inbox.append(("a", msg.text)))
+        net.register("b", lambda src, msg: inbox.append(("b", msg.text)))
+        net.cut_link("a", "b")
+        net.send("a", "b", _Hello("lost1"))
+        net.send("b", "a", _Hello("lost2"))
+        kernel.run()
+        assert inbox == []
+        net.heal_link("a", "b")
+        net.send("a", "b", _Hello("through"))
+        kernel.run()
+        assert inbox == [("b", "through")]
+
+    def test_probabilistic_loss(self):
+        kernel, net = make_net(loss=0.5)
+        inbox = []
+        net.register("b", lambda src, msg: inbox.append(msg))
+        for _ in range(200):
+            net.send("a", "b", _Hello())
+        kernel.run()
+        assert 40 < len(inbox) < 160  # ~100 expected
+
+    def test_invalid_loss_probability(self):
+        with pytest.raises(ValueError):
+            make_net(loss=1.5)
+
+    def test_deterministic_given_seed(self):
+        results = []
+        for _ in range(2):
+            kernel, net = make_net(loss=0.3)
+            inbox = []
+            net.register("b", lambda src, msg: inbox.append(msg))
+            for _ in range(50):
+                net.send("a", "b", _Hello())
+            kernel.run()
+            results.append(len(inbox))
+        assert results[0] == results[1]

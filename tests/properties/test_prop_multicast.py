@@ -1,0 +1,105 @@
+"""Property test: genuine atomic multicast pairwise ordering.
+
+For randomized destination sets, senders, submission timing, and
+jittered link latencies, any two messages with intersecting destinations
+must be delivered in the same relative order at every common member, and
+every member of an addressed group must deliver the message exactly once.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.consensus.multicast import GenuineMulticast
+from repro.consensus.replica import PaxosConfig, PaxosReplica
+from repro.runtime.sim import SimWorld
+from repro.sim.latency import JitteredLatency
+
+GROUPS = {"g1": ["a1", "a2"], "g2": ["b1", "b2"], "g3": ["c1", "c2"]}
+
+scenario = st.fixed_dictionaries(
+    {
+        "seed": st.integers(0, 2**16),
+        "jitter": st.sampled_from([0.0, 0.5]),
+        "messages": st.lists(
+            st.tuples(
+                st.sampled_from(["a1", "b1", "c1"]),  # sender
+                st.sets(st.sampled_from(["g1", "g2", "g3"]), min_size=1, max_size=3),
+                st.floats(0.0, 0.05),  # gap before the next submission
+            ),
+            min_size=1,
+            max_size=10,
+        ),
+    }
+)
+
+
+def run_scenario(params):
+    world = SimWorld(
+        seed=params["seed"],
+        latency=JitteredLatency(0.002, 0.002 * params["jitter"]),
+    )
+    deliveries = {}
+    endpoints = {}
+    replicas = []
+    for group_id, members in GROUPS.items():
+        for member in members:
+            runtime = world.runtime_for(member)
+            deliveries[member] = []
+            replica = PaxosReplica(
+                runtime, group_id, members, PaxosConfig(static_leader=members[0])
+            )
+            endpoint = GenuineMulticast(
+                runtime,
+                group_id,
+                GROUPS,
+                replica,
+                on_deliver=lambda mid, payload, m=member: deliveries[m].append(mid),
+            )
+            replica.on_deliver = endpoint.on_group_deliver
+
+            def dispatch(src, msg, replica=replica, endpoint=endpoint):
+                if replica.handle(src, msg):
+                    return
+                endpoint.handle(src, msg)
+
+            runtime.listen(dispatch)
+            endpoints[member] = endpoint
+            replicas.append(replica)
+    for replica in replicas:
+        replica.start()
+    world.run(until=0.5)
+    destinations = {}
+    for index, (sender, dests, gap) in enumerate(params["messages"]):
+        mid = endpoints[sender].amcast(tuple(sorted(dests)), f"m{index}")
+        destinations[mid] = set(dests)
+        world.run(until=world.now + gap)
+    world.run(until=world.now + 20.0)
+    return deliveries, destinations
+
+
+class TestMulticastOrdering:
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+    )
+    @given(params=scenario)
+    def test_pairwise_order_and_completeness(self, params):
+        deliveries, destinations = run_scenario(params)
+        # Completeness + genuineness, exactly once.
+        for mid, dests in destinations.items():
+            for group_id, members in GROUPS.items():
+                for member in members:
+                    count = deliveries[member].count(mid)
+                    assert count == (1 if group_id in dests else 0), (
+                        f"{mid} delivered {count}x at {member} (dests={dests})"
+                    )
+        # Pairwise relative order agrees at every common member.
+        for m1, order1 in deliveries.items():
+            for m2, order2 in deliveries.items():
+                common = set(order1) & set(order2)
+                filtered1 = [mid for mid in order1 if mid in common]
+                filtered2 = [mid for mid in order2 if mid in common]
+                assert filtered1 == filtered2, (
+                    f"order disagreement {m1} vs {m2} under {params}"
+                )

@@ -1,0 +1,48 @@
+"""Unit tests for the trace recorder."""
+
+from repro.sim.tracing import Tracer
+
+
+class TestTracer:
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        tracer.emit("n1", "event")
+        assert tracer.events == []
+
+    def test_enabled_tracer_records(self):
+        tracer = Tracer(enabled=True)
+        tracer.emit("n1", "event", detail=42)
+        assert len(tracer.events) == 1
+        assert tracer.events[0].node == "n1"
+        assert tracer.events[0].detail == {"detail": 42}
+
+    def test_clock_binding(self):
+        time = [0.0]
+        tracer = Tracer(enabled=True, clock=lambda: time[0])
+        tracer.emit("n", "a")
+        time[0] = 5.0
+        tracer.emit("n", "b")
+        assert [e.time for e in tracer.events] == [0.0, 5.0]
+
+    def test_filter_by_category_and_node(self):
+        tracer = Tracer(enabled=True)
+        tracer.emit("n1", "x")
+        tracer.emit("n2", "x")
+        tracer.emit("n1", "y")
+        assert tracer.count(category="x") == 2
+        assert tracer.count(node="n1") == 2
+        assert tracer.count(category="y", node="n1") == 1
+        assert tracer.count(category="y", node="n2") == 0
+
+    def test_clear(self):
+        tracer = Tracer(enabled=True)
+        tracer.emit("n", "x")
+        tracer.clear()
+        assert tracer.events == []
+
+    def test_dump_renders_all_events(self):
+        tracer = Tracer(enabled=True)
+        tracer.emit("n1", "commit", tid="t1")
+        tracer.emit("n2", "abort")
+        dump = tracer.dump()
+        assert "commit" in dump and "abort" in dump and "t1" in dump

@@ -1,0 +1,131 @@
+"""Unit tests for the write-ahead log (including crash recovery)."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.wal import WriteAheadLog
+
+
+class TestInMemory:
+    def test_append_and_iterate(self):
+        log = WriteAheadLog()
+        assert log.append(b"one") == 0
+        assert log.append(b"two") == 1
+        assert list(log) == [b"one", b"two"]
+        assert log[1] == b"two"
+        assert len(log) == 2
+
+    def test_rejects_non_bytes(self):
+        with pytest.raises(StorageError):
+            WriteAheadLog().append("text")  # type: ignore[arg-type]
+
+
+class TestFileBacked:
+    def test_recovery_replays_records(self, tmp_path):
+        path = tmp_path / "wal.log"
+        with WriteAheadLog(path) as log:
+            log.append(b"alpha")
+            log.append(b"beta")
+        recovered = WriteAheadLog(path)
+        assert list(recovered) == [b"alpha", b"beta"]
+        recovered.close()
+
+    def test_append_after_recovery_continues(self, tmp_path):
+        path = tmp_path / "wal.log"
+        with WriteAheadLog(path) as log:
+            log.append(b"first")
+        with WriteAheadLog(path) as log:
+            log.append(b"second")
+        with WriteAheadLog(path) as log:
+            assert list(log) == [b"first", b"second"]
+
+    def test_torn_tail_is_truncated(self, tmp_path):
+        path = tmp_path / "wal.log"
+        with WriteAheadLog(path) as log:
+            log.append(b"complete")
+            log.append(b"will-be-torn")
+        # Simulate a crash mid-write: chop bytes off the last record.
+        data = path.read_bytes()
+        path.write_bytes(data[:-3])
+        recovered = WriteAheadLog(path)
+        assert list(recovered) == [b"complete"]
+        recovered.append(b"after-recovery")
+        recovered.close()
+        final = WriteAheadLog(path)
+        assert list(final) == [b"complete", b"after-recovery"]
+        final.close()
+
+    def test_corrupt_crc_truncates_tail(self, tmp_path):
+        path = tmp_path / "wal.log"
+        with WriteAheadLog(path) as log:
+            log.append(b"good")
+            log.append(b"evil")
+        data = bytearray(path.read_bytes())
+        data[-1] ^= 0xFF  # flip a payload byte of the last record
+        path.write_bytes(bytes(data))
+        recovered = WriteAheadLog(path)
+        assert list(recovered) == [b"good"]
+        recovered.close()
+
+    def test_empty_and_missing_files(self, tmp_path):
+        missing = WriteAheadLog(tmp_path / "sub" / "new.log")
+        assert len(missing) == 0
+        missing.close()
+        empty_path = tmp_path / "empty.log"
+        empty_path.touch()
+        empty = WriteAheadLog(empty_path)
+        assert len(empty) == 0
+        empty.close()
+
+    def test_binary_payloads_roundtrip(self, tmp_path):
+        path = tmp_path / "wal.log"
+        blob = bytes(range(256)) * 3
+        with WriteAheadLog(path) as log:
+            log.append(blob)
+        recovered = WriteAheadLog(path)
+        assert recovered[0] == blob
+        recovered.close()
+
+    def test_fsync_mode_works(self, tmp_path):
+        with WriteAheadLog(tmp_path / "wal.log", fsync=True) as log:
+            log.append(b"durable")
+        assert list(WriteAheadLog(tmp_path / "wal.log")) == [b"durable"]
+
+
+class TestRewrite:
+    def test_in_memory_rewrite(self):
+        log = WriteAheadLog()
+        for payload in (b"a", b"b", b"c"):
+            log.append(payload)
+        log.rewrite([b"b", b"c"])
+        assert list(log) == [b"b", b"c"]
+        log.append(b"d")
+        assert list(log) == [b"b", b"c", b"d"]
+
+    def test_file_backed_rewrite_survives_reopen(self, tmp_path):
+        path = tmp_path / "wal.log"
+        with WriteAheadLog(path) as log:
+            for payload in (b"one", b"two", b"three"):
+                log.append(payload)
+            log.rewrite([b"three"])
+            log.append(b"four")
+        reopened = WriteAheadLog(path)
+        assert list(reopened) == [b"three", b"four"]
+        reopened.close()
+
+    def test_rewrite_to_empty(self, tmp_path):
+        path = tmp_path / "wal.log"
+        with WriteAheadLog(path) as log:
+            log.append(b"gone")
+            log.rewrite([])
+        reopened = WriteAheadLog(path)
+        assert len(reopened) == 0
+        reopened.close()
+
+    def test_no_leftover_temp_file(self, tmp_path):
+        path = tmp_path / "wal.log"
+        with WriteAheadLog(path) as log:
+            log.append(b"x")
+            log.rewrite([b"x"])
+        leftovers = [p for p in tmp_path.iterdir() if p.suffix == ".compact"]
+        assert leftovers == []

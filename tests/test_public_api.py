@@ -1,0 +1,64 @@
+"""The package's public surface: imports, exports, version."""
+
+import repro
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"__all__ names missing attribute {name}"
+
+    def test_core_entry_points_exported(self):
+        for name in (
+            "build_cluster",
+            "wan1_deployment",
+            "wan2_deployment",
+            "lan_deployment",
+            "PartitionMap",
+            "SdurConfig",
+            "SdurClient",
+            "SdurServer",
+            "Read",
+            "ReadMany",
+            "run_experiment",
+            "build_classic_dur",
+        ):
+            assert name in repro.__all__
+
+    def test_quickstart_shape_from_root_imports_only(self):
+        """The README's quickstart must work from top-level names."""
+        deployment = repro.wan1_deployment(num_partitions=2)
+        cluster = repro.build_cluster(
+            deployment, repro.PartitionMap.by_index(2), repro.SdurConfig()
+        )
+        cluster.seed({"0/alice": 100, "1/carol": 75})
+        client = cluster.add_client(region="eu")
+        cluster.start()
+        results = []
+
+        def transfer(txn):
+            values = yield repro.ReadMany(("0/alice", "1/carol"))
+            txn.write("0/alice", values["0/alice"] - 5)
+            txn.write("1/carol", values["1/carol"] + 5)
+
+        client.execute(transfer, results.append)
+        cluster.world.run_for(2.0)
+        assert results and results[0].outcome is repro.Outcome.COMMIT
+
+    def test_subpackages_importable(self):
+        import repro.baseline
+        import repro.checker
+        import repro.consensus
+        import repro.core
+        import repro.experiments
+        import repro.geo
+        import repro.harness
+        import repro.metrics
+        import repro.net
+        import repro.runtime
+        import repro.sim
+        import repro.storage
+        import repro.workload

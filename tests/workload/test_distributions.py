@@ -1,0 +1,63 @@
+"""Unit tests for key-popularity samplers."""
+
+import random
+
+import pytest
+
+from repro.workload.distributions import UniformSampler, ZipfSampler
+
+
+class TestUniform:
+    def test_bounds(self):
+        sampler = UniformSampler(10)
+        rng = random.Random(1)
+        assert all(0 <= sampler.sample(rng) < 10 for _ in range(200))
+        assert sampler.population == 10
+
+    def test_roughly_flat(self):
+        sampler = UniformSampler(4)
+        rng = random.Random(2)
+        counts = [0] * 4
+        for _ in range(4000):
+            counts[sampler.sample(rng)] += 1
+        assert min(counts) > 800
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            UniformSampler(0)
+
+
+class TestZipf:
+    def test_bounds(self):
+        sampler = ZipfSampler(100, theta=0.99)
+        rng = random.Random(3)
+        assert all(0 <= sampler.sample(rng) < 100 for _ in range(500))
+
+    def test_skew_favours_low_ranks(self):
+        sampler = ZipfSampler(1000, theta=0.99)
+        rng = random.Random(4)
+        samples = [sampler.sample(rng) for _ in range(5000)]
+        top_ten_share = sum(1 for s in samples if s < 10) / len(samples)
+        assert top_ten_share > 0.25  # heavy head
+
+    def test_theta_zero_is_uniform(self):
+        sampler = ZipfSampler(10, theta=0.0)
+        rng = random.Random(5)
+        counts = [0] * 10
+        for _ in range(10000):
+            counts[sampler.sample(rng)] += 1
+        assert min(counts) > 700
+
+    def test_higher_theta_more_skew(self):
+        rng1, rng2 = random.Random(6), random.Random(6)
+        mild = ZipfSampler(500, theta=0.5)
+        harsh = ZipfSampler(500, theta=1.5)
+        mild_head = sum(1 for _ in range(3000) if mild.sample(rng1) == 0)
+        harsh_head = sum(1 for _ in range(3000) if harsh.sample(rng2) == 0)
+        assert harsh_head > mild_head
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(0)
+        with pytest.raises(ValueError):
+            ZipfSampler(10, theta=-1)

@@ -1,0 +1,80 @@
+"""Unit tests for the microbenchmark workload generator."""
+
+import random
+
+import pytest
+
+from repro.core.partitioning import PartitionMap
+from repro.errors import ConfigurationError
+from repro.workload.microbench import MicroBenchmark
+
+
+class TestKeySelection:
+    def test_local_keys_stay_home(self):
+        bench = MicroBenchmark(4, home_partition_index=2, global_fraction=0.0)
+        pmap = PartitionMap.by_index(4)
+        rng = random.Random(1)
+        for _ in range(100):
+            key_a, key_b = bench.pick_keys(rng, is_global=False)
+            assert pmap.partition_of(key_a) == "p2"
+            assert pmap.partition_of(key_b) == "p2"
+            assert key_a != key_b
+
+    def test_global_keys_span_two_partitions(self):
+        bench = MicroBenchmark(4, home_partition_index=1, global_fraction=1.0)
+        pmap = PartitionMap.by_index(4)
+        rng = random.Random(2)
+        for _ in range(100):
+            key_a, key_b = bench.pick_keys(rng, is_global=True)
+            assert pmap.partition_of(key_a) == "p1"
+            assert pmap.partition_of(key_b) != "p1"
+
+    def test_global_fraction_respected(self):
+        bench = MicroBenchmark(2, 0, global_fraction=0.25)
+        rng = random.Random(3)
+        labels = [bench.next_txn(rng).label for _ in range(4000)]
+        share = labels.count("global") / len(labels)
+        assert 0.20 < share < 0.30
+
+    def test_read_only_fraction(self):
+        bench = MicroBenchmark(2, 0, global_fraction=0.1, read_only_fraction=0.5)
+        rng = random.Random(4)
+        specs = [bench.next_txn(rng) for _ in range(1000)]
+        ro_share = sum(1 for s in specs if s.read_only) / len(specs)
+        assert 0.4 < ro_share < 0.6
+        assert all(s.label.startswith("ro-") for s in specs if s.read_only)
+
+
+class TestValidation:
+    def test_bad_fraction(self):
+        with pytest.raises(ConfigurationError):
+            MicroBenchmark(2, 0, global_fraction=1.5)
+
+    def test_globals_need_partitions(self):
+        with pytest.raises(ConfigurationError):
+            MicroBenchmark(1, 0, global_fraction=0.5)
+
+    def test_home_in_range(self):
+        with pytest.raises(ConfigurationError):
+            MicroBenchmark(2, 5, global_fraction=0.0)
+
+
+class TestPrograms:
+    def test_update_program_increments(self):
+        from repro.workload.microbench import _update_two
+
+        program = _update_two("0/a", "0/b")
+        writes = {}
+
+        class FakeTxn:
+            def write(self, key, value):
+                writes[key] = value
+
+        gen = program(FakeTxn())
+        request = gen.send(None)
+        assert set(request.keys) == {"0/a", "0/b"}
+        try:
+            gen.send({"0/a": 4, "0/b": None})
+        except StopIteration:
+            pass
+        assert writes == {"0/a": 5, "0/b": 1}
