@@ -46,6 +46,26 @@ class AbcastFabric:
         #: leaders are elected rather than pinned.
         self.redundant_submit = redundant_submit
 
+    def add_group(
+        self, partition: str, members: list[str] | tuple[str, ...], hint: str | None = None
+    ) -> None:
+        """Learn a partition created after this fabric was built.
+
+        Idempotent: re-adding an existing group refreshes membership and
+        hint (reconfigurations are applied by every replica of the
+        affected partitions and gossiped to the rest).
+        """
+        members = list(members)
+        if not members:
+            raise ConfigurationError(f"group {partition!r} needs at least one member")
+        if hint is not None and hint not in members:
+            raise ConfigurationError(
+                f"coordinator hint {hint!r} not in group of partition {partition!r}"
+            )
+        self.groups[partition] = members
+        if hint is not None:
+            self.coordinator_hints[partition] = hint
+
     def attach_replica(self, partition: str, replica: PaxosReplica) -> None:
         """Register the local replica for a partition this node belongs to."""
         if self.runtime.node_id not in self.groups.get(partition, ()):

@@ -41,6 +41,8 @@ from repro.core.messages import (
 from repro.core.partitioning import PartitionMap
 from repro.core.transaction import Outcome, ReadsetDigest, TxnId, TxnProjection
 from repro.errors import ProtocolError
+from repro.reconfig.epochs import VersionedRouting
+from repro.reconfig.messages import ConfigSnapshot, GetConfig, StaleEpochNotice
 from repro.runtime.base import Runtime
 
 
@@ -112,6 +114,9 @@ class ClientConfig:
     #: Reject writes to keys not previously read (the paper assumes
     #: ``ws ⊆ rs``; §II-B).
     enforce_no_blind_writes: bool = True
+    #: How many times one transaction may restart because the directory
+    #: changed under it (partition split) before giving up.
+    max_epoch_retries: int = 3
 
 
 #: A transaction program: generator yielding Read/ReadMany operations.
@@ -145,16 +150,26 @@ class _ActiveTxn:
         started: float,
         label: str,
         enforce_no_blind_writes: bool,
+        epoch_restarts: int = 0,
     ) -> None:
         self.tid = tid
+        #: Kept so the transaction can restart under a fresh id when the
+        #: directory changes mid-flight (programs must be re-runnable).
+        self.program = program
         self.on_done = on_done
         self.read_only = read_only
         self.started = started
         self.label = label
         self.enforce_no_blind_writes = enforce_no_blind_writes
+        self.epoch_restarts = epoch_restarts
         self.gen = program(Txn(self))
         self.rs_keys: set[str] = set()
         self.read_versions: dict[str, int] = {}
+        #: key -> partition that actually served the read.  Compared to
+        #: the *current* map at commit time: if a split moved the key in
+        #: between, certifying at the new partition with this read would
+        #: miss pre-split conflicts, so the client restarts instead.
+        self.read_partitions: dict[str, str] = {}
         self.ws: dict[str, Any] = {}
         #: partition -> pinned snapshot (Algorithm 1's ``t.st``).
         self.st: dict[str, int] = {}
@@ -194,6 +209,8 @@ class ClientStats:
         self.committed = 0
         self.aborted = 0
         self.commit_resends = 0
+        #: Transactions restarted because the directory changed under them.
+        self.epoch_retries = 0
 
 
 class SdurClient:
@@ -205,10 +222,12 @@ class SdurClient:
         directory: ClusterDirectory,
         partition_map: PartitionMap,
         config: ClientConfig,
+        routing: VersionedRouting | None = None,
     ) -> None:
         self.runtime = runtime
-        self.directory = directory
-        self.partition_map = partition_map
+        #: Epoch-versioned view of the directory; ``routing`` supersedes
+        #: the plain ``directory``/``partition_map`` arguments.
+        self.routing = routing or VersionedRouting(directory, partition_map)
         self.config = config
         self._seq = 0
         # Transaction ids must be unique across client incarnations:
@@ -218,6 +237,9 @@ class SdurClient:
         self._incarnation = runtime.rng("txn-id").getrandbits(32)
         self._id_namespace = f"{runtime.node_id}~{self._incarnation:08x}"
         self._active: dict[TxnId, _ActiveTxn] = {}
+        #: True while a GetConfig is outstanding (debounces the requests
+        #: triggered by epoch sniffing on read responses).
+        self._config_in_flight = False
         #: Unresponsive servers -> suspicion expiry time (client-side
         #: failure detection: a suspected server is deprioritized for
         #: reads and commit resends until the suspicion expires).
@@ -227,6 +249,14 @@ class SdurClient:
     @property
     def node_id(self) -> str:
         return self.runtime.node_id
+
+    @property
+    def directory(self) -> ClusterDirectory:
+        return self.routing.directory
+
+    @property
+    def partition_map(self) -> PartitionMap:
+        return self.routing.partition_map
 
     # ------------------------------------------------------------------
     # Public API
@@ -252,30 +282,37 @@ class SdurClient:
         )
         self._active[tid] = state
         self.stats.started += 1
+        self._launch(state)
+        return tid
+
+    def _launch(self, state: _ActiveTxn) -> None:
         needs_vector = (
-            read_only
+            state.read_only
             and self.config.readonly_snapshot
             and len(self.directory.partition_ids) > 1
         )
         if needs_vector:
             self.runtime.send(
                 self.config.session_server,
-                GetSnapshotVector(tid=tid, reply_to=self.node_id),
+                GetSnapshotVector(tid=state.tid, reply_to=self.node_id),
             )
         else:
             self._advance(state, None)
-        return tid
 
     # ------------------------------------------------------------------
     # Message entry point
     # ------------------------------------------------------------------
     def handle(self, src: str, msg: Any) -> bool:
         if isinstance(msg, ReadResponse):
-            self._on_read_response(msg)
+            self._on_read_response(src, msg)
         elif isinstance(msg, SnapshotVectorReply):
             self._on_vector(msg)
         elif isinstance(msg, OutcomeNotice):
             self._on_outcome(msg)
+        elif isinstance(msg, StaleEpochNotice):
+            self._on_stale_epoch(msg)
+        elif isinstance(msg, ConfigSnapshot):
+            self._on_config_snapshot(msg)
         else:
             return False
         return True
@@ -386,13 +423,18 @@ class SdurClient:
 
         self.runtime.set_timer(self.config.read_timeout, fire)
 
-    def _on_read_response(self, msg: ReadResponse) -> None:
+    def _on_read_response(self, src: str, msg: ReadResponse) -> None:
+        if msg.epoch > self.routing.epoch:
+            # The serving server runs a newer configuration: fetch the
+            # missing changes so commits route (and tag) correctly.
+            self._request_config(src)
         state = self._active.get(msg.tid)
         if state is None:
             return
         if msg.error is not None:
             self._finish(state, Outcome.ABORT, abort_reason=msg.error)
             return
+        state.read_partitions[msg.key] = msg.partition
         if msg.partition not in state.st:
             state.st[msg.partition] = msg.snapshot  # Algorithm 1 line 13
         if msg.op_id in state.single_ops:
@@ -441,13 +483,28 @@ class SdurClient:
         # which determines which server answers the client (Figure 1 ⑦).
         target = self._commit_target_for(state)
         request = self._build_commit_request(state, coordinator=target)
+        if request is None:
+            # A split moved some key this transaction read: the pinned
+            # snapshots no longer match the current routing, so restart
+            # with fresh reads rather than certify an unsound mix.
+            self._restart(state)
+            return
         state.last_commit_target = target
         self.runtime.send(target, request)
         if self.config.commit_timeout is not None:
             self._arm_commit_retry(state, request)
 
-    def _build_commit_request(self, state: _ActiveTxn, coordinator: str) -> CommitRequest:
+    def _build_commit_request(
+        self, state: _ActiveTxn, coordinator: str
+    ) -> CommitRequest | None:
         keys = state.rs_keys | set(state.ws)
+        for key in keys:
+            served_by = state.read_partitions.get(key)
+            if served_by is not None and served_by != self.partition_map.partition_of(key):
+                # The key moved partitions since it was read: its pinned
+                # snapshot belongs to the old partition's history, which
+                # the new partition's certification window cannot check.
+                return None
         partitions = self.partition_map.partitions_of(keys)
         projections: dict[str, TxnProjection] = {}
         for partition in partitions:
@@ -476,6 +533,7 @@ class SdurClient:
                 partitions=partitions,
                 coordinator=coordinator,
                 client=self.node_id,
+                epoch=self.routing.epoch,
             )
         return CommitRequest(tid=state.tid, projections=projections)
 
@@ -519,6 +577,67 @@ class SdurClient:
         if state is None:
             return  # later replica notices for an already-finished txn
         self._finish(state, Outcome(msg.outcome))
+
+    # ------------------------------------------------------------------
+    # Reconfiguration (epoch-versioned routing)
+    # ------------------------------------------------------------------
+    def _request_config(self, server: str) -> None:
+        if self._config_in_flight:
+            return
+        self._config_in_flight = True
+        self.runtime.send(
+            server, GetConfig(reply_to=self.node_id, since_epoch=self.routing.epoch)
+        )
+
+    def _on_config_snapshot(self, msg: ConfigSnapshot) -> None:
+        self._config_in_flight = False
+        self.routing.apply_all(msg.changes)
+
+    def _on_stale_epoch(self, msg: StaleEpochNotice) -> None:
+        # The notice carries every change the client is missing, so the
+        # restart below already routes under the server's configuration.
+        self.routing.apply_all(msg.changes)
+        state = self._active.get(msg.tid)
+        if state is None:
+            return  # duplicate notice for an already-restarted txn
+        self._restart(state)
+
+    def _restart(self, state: _ActiveTxn) -> None:
+        """Re-run a transaction under a fresh id and the current routing.
+
+        Servers de-duplicate deliveries by transaction id — a projection
+        of the old attempt may already sit in some partition's log — so
+        the restart must *not* reuse the id.
+        """
+        self._active.pop(state.tid, None)
+        if state.epoch_restarts >= self.config.max_epoch_retries:
+            self._finish(
+                state,
+                Outcome.ABORT,
+                abort_reason="stale configuration (epoch retry limit)",
+            )
+            return
+        self.stats.epoch_retries += 1
+        self._seq += 1
+        tid = TxnId(client=self._id_namespace, seq=self._seq)
+        fresh = _ActiveTxn(
+            tid=tid,
+            program=state.program,
+            on_done=state.on_done,
+            read_only=state.read_only,
+            started=state.started,
+            label=state.label,
+            enforce_no_blind_writes=state.enforce_no_blind_writes,
+            epoch_restarts=state.epoch_restarts + 1,
+        )
+        self._active[tid] = fresh
+        self.runtime.trace(
+            "client.epoch_restart",
+            old=str(state.tid),
+            new=str(tid),
+            epoch=self.routing.epoch,
+        )
+        self._launch(fresh)
 
     def _finish(
         self, state: _ActiveTxn, outcome: Outcome, abort_reason: str | None = None

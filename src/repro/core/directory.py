@@ -26,6 +26,7 @@ class ClusterDirectory:
     topology: Topology = field(default_factory=Topology)
 
     def __post_init__(self) -> None:
+        owner: dict[str, str] = {}
         for partition, members in self.partitions.items():
             if not members:
                 raise ConfigurationError(f"partition {partition!r} has no servers")
@@ -36,6 +37,19 @@ class ClusterDirectory:
                 raise ConfigurationError(
                     f"preferred server {pref!r} does not replicate {partition!r}"
                 )
+            for member in members:
+                if member in owner:
+                    raise ConfigurationError(
+                        f"server {member!r} replicates both {owner[member]!r} "
+                        f"and {partition!r}"
+                    )
+                owner[member] = partition
+                # Directories may be built before (or without) a topology;
+                # placement is only checked once one exists.
+                if len(self.topology) > 0 and member not in self.topology:
+                    raise ConfigurationError(
+                        f"server {member!r} of {partition!r} missing from topology"
+                    )
 
     @property
     def partition_ids(self) -> list[str]:

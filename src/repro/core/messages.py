@@ -52,6 +52,9 @@ class ReadResponse(Message):
     partition: str
     #: Set when the read failed (e.g. snapshot older than retained history).
     error: str | None = None
+    #: Serving server's configuration epoch; a client seeing a higher
+    #: epoch than its own pulls the new directory (``GetConfig``).
+    epoch: int = 0
 
 
 @message

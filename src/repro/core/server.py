@@ -62,6 +62,16 @@ from repro.core.pending import PendingList, PendingTxn
 from repro.core.snapshots import GlobalSnapshotBuilder
 from repro.core.transaction import Outcome, TxnId, TxnProjection
 from repro.errors import ConfigurationError, ProtocolError, SnapshotTooOldError
+from repro.reconfig.epochs import VersionedRouting
+from repro.reconfig.messages import (
+    BeginSplit,
+    ConfigSnapshot,
+    FinishSplit,
+    GetConfig,
+    InstallMigration,
+    StaleEpochNotice,
+)
+from repro.reconfig.migration import SplitSource, moved_chains
 from repro.runtime.base import Runtime
 from repro.storage.mvstore import MultiVersionStore
 
@@ -78,6 +88,7 @@ class ServerStats:
         self.aborted_votes = 0
         self.aborted_recovery = 0
         self.aborted_deferred = 0
+        self.aborted_epoch = 0
         self.deferred = 0
         self.reordered = 0
         self.noops_sent = 0
@@ -98,6 +109,7 @@ class ServerStats:
             + self.aborted_votes
             + self.aborted_recovery
             + self.aborted_deferred
+            + self.aborted_epoch
         )
 
 
@@ -113,11 +125,15 @@ class SdurServer:
         fabric: AbcastFabric,
         config: SdurConfig | None = None,
         initial_data: dict[str, Any] | None = None,
+        routing: VersionedRouting | None = None,
     ) -> None:
         self.runtime = runtime
         self.partition = partition
-        self.directory = directory
-        self.partition_map = partition_map
+        #: Epoch-versioned view of the directory and key routing.  When a
+        #: caller passes ``routing`` it supersedes the static
+        #: ``directory``/``partition_map`` arguments (which remain for
+        #: non-reconfiguring deployments and existing tests).
+        self.routing = routing or VersionedRouting(directory, partition_map)
         self.fabric = fabric
         self.config = config or SdurConfig()
         self.store = MultiVersionStore()
@@ -143,8 +159,20 @@ class SdurServer:
         self._stalled: deque[Any] = deque()
         self._applying = False
         self._noop_armed = False
+        #: Source-side split in flight (barrier + captured key range).
+        self._migration: SplitSource | None = None
+        #: New-partition side: block transaction processing until the
+        #: migrated state is installed (see :meth:`await_migration`).
+        self._migration_pending = False
+        #: Reads parked while awaiting the migration install.
+        self._parked_reads: list[ReadRequest] = []
+        #: Votes addressed to partitions this node has not learned yet.
+        self._deferred_votes: list[tuple[str, Vote]] = []
+        #: Commit requests tagged with a future epoch (directory change
+        #: still in flight to this node); replayed once it arrives.
+        self._premature_requests: list[CommitRequest] = []
         self.snapshot_builder = GlobalSnapshotBuilder(
-            directory.partition_ids, partition, history=self.config.gossip_history
+            self.routing.directory.partition_ids, partition, history=self.config.gossip_history
         )
         #: Injected by the harness: is this node its partition's leader?
         self.is_partition_leader: Callable[[], bool] = lambda: True
@@ -169,9 +197,29 @@ class SdurServer:
         return self.runtime.node_id
 
     @property
+    def directory(self) -> ClusterDirectory:
+        """The current epoch's cluster directory."""
+        return self.routing.directory
+
+    @property
+    def partition_map(self) -> PartitionMap:
+        """The current epoch's key routing."""
+        return self.routing.partition_map
+
+    @property
     def sc(self) -> int:
         """Snapshot counter (``SC``): version of the latest applied commit."""
         return self.store.current_version
+
+    def await_migration(self) -> None:
+        """Gate this (new-partition) replica until its state arrives.
+
+        Called by the harness on servers of a freshly split-off
+        partition: transaction deliveries stall and reads park until the
+        ``InstallMigration`` value is delivered through the new
+        partition's own log.
+        """
+        self._migration_pending = True
 
     def start(self) -> None:
         """Arm periodic duties (snapshot gossip, version GC)."""
@@ -218,6 +266,16 @@ class SdurServer:
             self.runtime.send(msg.reply_to, SnapshotVectorReply(tid=msg.tid, vector=vector))
         elif isinstance(msg, CommitGossip):
             self.snapshot_builder.on_gossip(msg)
+        elif isinstance(msg, GetConfig):
+            self.runtime.send(
+                msg.reply_to,
+                ConfigSnapshot(
+                    epoch=self.routing.epoch,
+                    changes=self.routing.changes_since(msg.since_epoch),
+                ),
+            )
+        elif isinstance(msg, ConfigSnapshot):
+            self._on_config_snapshot(msg)
         elif isinstance(msg, CheckpointRequest):
             self.runtime.send(
                 msg.reply_to,
@@ -238,6 +296,10 @@ class SdurServer:
             self.stats.reads_routed += 1
             target = self.directory.nearest_server(key_partition, self.node_id)
             self.runtime.send(target, msg)
+            return
+        if self._migration_pending:
+            # Our key range is still in flight from the source partition.
+            self._parked_reads.append(msg)
             return
         self.runtime.execute(self.config.costs.read, lambda: self._serve_read(msg))
 
@@ -260,6 +322,7 @@ class SdurServer:
                 item_version=0,
                 partition=self.partition,
                 error=str(exc),
+                epoch=self.routing.epoch,
             )
             self.runtime.send(msg.reply_to, response)
             return
@@ -274,6 +337,7 @@ class SdurServer:
                 snapshot=snapshot,
                 item_version=item.version,
                 partition=self.partition,
+                epoch=self.routing.epoch,
             ),
         )
 
@@ -298,6 +362,17 @@ class SdurServer:
         """Broadcast each projection to its partition, delaying the local
         broadcast of a global transaction when the technique is enabled."""
         projections = request.projections
+        for proj in projections.values():
+            if proj.epoch > self.routing.epoch:
+                # The client routed under a directory change that has not
+                # reached this node yet; replay once it arrives.
+                self._premature_requests.append(request)
+                return
+            if proj.epoch < self.routing.ownership_epoch(proj.partition):
+                # Stale routing: some key may have moved.  Reject before
+                # anything is broadcast; one notice carries the fix.
+                self._reject_stale_epoch(proj)
+                return
         remote = [p for p in projections if p != self.partition]
         for partition in remote:
             self.fabric.abcast(partition, projections[partition])
@@ -344,10 +419,23 @@ class SdurServer:
         their verdicts can diverge.  The gate only ever waits for
         transactions that are already globally decided (their commit was
         visible to the snapshot), so it cannot deadlock.
+
+        A replica of a freshly split-off partition additionally gates
+        every transaction until its migrated state is installed — the
+        gate clears at the ``InstallMigration`` delivery, the same log
+        position at every replica.
         """
-        return isinstance(value, TxnProjection) and value.snapshot > self.sc
+        if not isinstance(value, TxnProjection):
+            return False
+        return self._migration_pending or value.snapshot > self.sc
 
     def _ingest(self, value: Any) -> None:
+        if isinstance(value, InstallMigration):
+            # Must bypass the stall queue: it is what clears the
+            # migration gate the stalled transactions are waiting on.
+            self._deliver_install_migration(value)
+            self._pump()
+            return
         if self._applying or self._stalled or self._gate_blocks(value):
             self._stalled.append(value)
             return
@@ -363,6 +451,12 @@ class SdurServer:
             self._deliver_abort_request(value)
         elif isinstance(value, ThresholdChange):
             self._deliver_threshold_change(value)
+        elif isinstance(value, BeginSplit):
+            self._deliver_begin_split(value)
+        elif isinstance(value, FinishSplit):
+            self._deliver_finish_split(value)
+        elif isinstance(value, InstallMigration):
+            self._deliver_install_migration(value)
         else:
             raise ProtocolError(f"unexpected broadcast value {type(value).__name__}")
 
@@ -396,6 +490,14 @@ class SdurServer:
             # An abort-request won the race (§IV-F): never certify.
             del self._aborted_early[tid]
             self._finish_aborted(proj, self.stats_bucket("recovery"))
+            self._drain()
+            return
+        if proj.epoch < self.routing.ownership_epoch(self.partition):
+            # Routed under an epoch older than this partition's last
+            # ownership change: the projection may misplace moved keys.
+            # Deterministic — the ownership epoch changes only at the
+            # BeginSplit position in this partition's own log.
+            self._finish_stale_epoch(proj)
             self._drain()
             return
         rt = self.dc + self.reorder_threshold
@@ -499,6 +601,8 @@ class SdurServer:
             self.stats.aborted_recovery += 1
         elif kind == "deferred":
             self.stats.aborted_deferred += 1
+        elif kind == "epoch":
+            self.stats.aborted_epoch += 1
         return kind
 
     def _finish_aborted(self, proj: TxnProjection, reason: str) -> None:
@@ -509,12 +613,47 @@ class SdurServer:
         self._notify_client(proj, Outcome.ABORT)
         self.runtime.trace("sdur.abort", tid=str(proj.tid), reason=reason)
 
+    def _finish_stale_epoch(self, proj: TxnProjection) -> None:
+        """Abort a delivered wrong-epoch projection; teach the client.
+
+        Instead of a plain abort notice the client receives the directory
+        changes it is missing, so one retry suffices (the retry runs
+        under a fresh transaction id — servers de-duplicate deliveries by
+        tid, and the old id is burned at every involved partition).
+        """
+        self.stats_bucket("epoch")
+        self._record_completed(proj.tid, Outcome.ABORT)
+        if proj.is_global:
+            self._send_votes(proj, Outcome.ABORT)
+        if proj.client and self._should_notify(proj):
+            self.runtime.send(proj.client, self._stale_notice(proj))
+        self.runtime.trace("sdur.abort", tid=str(proj.tid), reason="epoch")
+
+    def _reject_stale_epoch(self, proj: TxnProjection) -> None:
+        """Refuse a wrong-epoch commit request before broadcasting anything."""
+        if proj.client:
+            self.runtime.send(proj.client, self._stale_notice(proj))
+        self.runtime.trace("sdur.reject_epoch", tid=str(proj.tid), epoch=proj.epoch)
+
+    def _stale_notice(self, proj: TxnProjection) -> StaleEpochNotice:
+        return StaleEpochNotice(
+            tid=proj.tid,
+            partition=self.partition,
+            epoch=self.routing.epoch,
+            changes=self.routing.changes_since(proj.epoch),
+        )
+
     # ------------------------------------------------------------------
     # Votes (Algorithm 2 lines 13–14, 21–22)
     # ------------------------------------------------------------------
     def _send_votes(self, proj: TxnProjection, outcome: Outcome) -> None:
         vote = Vote(tid=proj.tid, partition=self.partition, vote=outcome.value)
         for partition in proj.other_partitions():
+            if not self.routing.knows_partition(partition):
+                # A partition created by a split whose directory change
+                # has not reached this node yet; flush when it does.
+                self._deferred_votes.append((partition, vote))
+                continue
             for server in self.directory.servers_of(partition):
                 self.runtime.send(server, vote)
 
@@ -606,6 +745,9 @@ class SdurServer:
         self._notify_client(proj, outcome)
         self._resolve_dependents(proj.tid, committed=outcome is Outcome.COMMIT)
         self._drain_waiting_reads()
+        if self._migration is not None and not self._migration.captured:
+            self._migration.barrier.discard(proj.tid)
+            self._maybe_capture_migration()
 
     def _record_completed(self, tid: TxnId, outcome: Outcome) -> None:
         self._completed[tid] = outcome.value
@@ -736,6 +878,165 @@ class SdurServer:
         self.latest_checkpoint = checkpoint.to_bytes()
 
     # ------------------------------------------------------------------
+    # Reconfiguration: live partition splits (repro.reconfig)
+    # ------------------------------------------------------------------
+    def _deliver_begin_split(self, msg: BeginSplit) -> None:
+        """Source-partition replicas switch epochs at this log position.
+
+        From here on, projections tagged with an older epoch abort
+        deterministically (the per-range write fence), while new-epoch
+        transactions on the retained key range keep committing.  The
+        moving range is captured once every transaction already in the
+        pending list at this position has completed.
+        """
+        change = msg.change
+        if not self.routing.apply(change):
+            return  # duplicate proposal of an already-applied change
+        self._on_config_advanced(change)
+        self._migration = SplitSource(
+            change=change, barrier={entry.tid for entry in self.pending}
+        )
+        self.runtime.trace(
+            "sdur.begin_split",
+            epoch=change.new_epoch,
+            new_partition=change.new_partition,
+            barrier=len(self._migration.barrier),
+        )
+        # Push the new directory to every server of the other partitions
+        # (idempotent at receivers).  The new partition's members were
+        # constructed with it.
+        snapshot = ConfigSnapshot(
+            epoch=self.routing.epoch, changes=tuple(self.routing.changes)
+        )
+        skip = set(self.directory.servers_of(self.partition)) | set(change.new_members)
+        for server in self.directory.all_servers():
+            if server not in skip:
+                self.runtime.send(server, snapshot)
+        # Parked snapshot reads for moved keys must re-route.
+        self._requeue_waiting_reads()
+        self._maybe_capture_migration()
+
+    def _maybe_capture_migration(self) -> None:
+        """Ship the moving key range once the write barrier drains.
+
+        Every replica computes the same capture at the same store version
+        (the barrier derives from the shared log); only the partition
+        leader proposes the install, to avoid duplicate proposals.  The
+        captured chains keep their original commit versions, so old
+        snapshots remain readable at the new partition.
+        """
+        migration = self._migration
+        if migration is None or not migration.ready_to_capture:
+            return
+        migration.captured = True
+        chains = moved_chains(
+            self.store.dump(), self.partition_map, migration.change.new_partition
+        )
+        migration.moved_keys = frozenset(chains)
+        self.runtime.trace(
+            "sdur.capture_migration", keys=len(chains), source_sc=self.sc
+        )
+        if self.is_partition_leader():
+            self.fabric.abcast(
+                migration.change.new_partition,
+                InstallMigration(
+                    change=migration.change,
+                    chains=chains,
+                    source_sc=self.sc,
+                    gc_horizon=self.store.gc_horizon,
+                ),
+            )
+
+    def _deliver_install_migration(self, msg: InstallMigration) -> None:
+        """New-partition replicas install the moved range and open up.
+
+        The store resumes at the source's snapshot counter and the
+        certification window floors there: a snapshot predating the
+        migration aborts conservatively (its reads were served by the
+        source, whose commits this window never saw).
+        """
+        if not self._migration_pending:
+            return  # duplicate delivery
+        self.store.restore(
+            {key: list(chain) for key, chain in msg.chains.items()},
+            current_version=msg.source_sc,
+            gc_horizon=msg.gc_horizon,
+        )
+        self.window = CertificationWindow(
+            self.config.history_window, floor=msg.source_sc
+        )
+        self.snapshot_builder.absorb_migration(msg.source_sc)
+        self._migration_pending = False
+        self.runtime.trace(
+            "sdur.install_migration", keys=len(msg.chains), source_sc=msg.source_sc
+        )
+        parked = self._parked_reads
+        self._parked_reads = []
+        for read in parked:
+            self._on_read(read.reply_to, read)
+        if self.is_partition_leader():
+            self.fabric.abcast(msg.change.source, FinishSplit(change=msg.change))
+
+    def _deliver_finish_split(self, msg: FinishSplit) -> None:
+        """Source replicas evict the migrated chains (now owned elsewhere)."""
+        migration = self._migration
+        if migration is None or migration.change.new_epoch != msg.change.new_epoch:
+            return  # duplicate or stale
+        dropped = self.store.evict_keys(migration.moved_keys)
+        self._migration = None
+        self.runtime.trace("sdur.finish_split", evicted=dropped)
+
+    def _on_config_snapshot(self, msg: ConfigSnapshot) -> None:
+        """Directory changes learned outside our own log (gossip/push).
+
+        Safe for unaffected partitions: their ownership epoch is
+        untouched, so certification verdicts cannot change — only
+        routing metadata (vote fan-out, read forwarding) improves.
+        """
+        for change in sorted(msg.changes, key=lambda c: c.new_epoch):
+            if self.routing.apply(change):
+                self._on_config_advanced(change)
+                self.runtime.trace(
+                    "sdur.config_learned", epoch=change.new_epoch
+                )
+
+    def _on_config_advanced(self, change: Any) -> None:
+        """Housekeeping common to every newly applied directory change."""
+        self.fabric.add_group(
+            change.new_partition, list(change.new_members), change.new_preferred
+        )
+        self.snapshot_builder.add_partition(change.new_partition)
+        self._flush_deferred_votes()
+        self._flush_premature_requests()
+
+    def _flush_deferred_votes(self) -> None:
+        if not self._deferred_votes:
+            return
+        still_unknown = []
+        for partition, vote in self._deferred_votes:
+            if not self.routing.knows_partition(partition):
+                still_unknown.append((partition, vote))
+                continue
+            for server in self.directory.servers_of(partition):
+                self.runtime.send(server, vote)
+        self._deferred_votes = still_unknown
+
+    def _flush_premature_requests(self) -> None:
+        if not self._premature_requests:
+            return
+        pending = self._premature_requests
+        self._premature_requests = []
+        for request in pending:
+            self.submit(request)
+
+    def _requeue_waiting_reads(self) -> None:
+        """Re-route parked snapshot reads after a routing change."""
+        waiting = self._waiting_reads
+        self._waiting_reads = []
+        for _snapshot, reply_to, read in waiting:
+            self._on_read(reply_to, read)
+
+    # ------------------------------------------------------------------
     # Recovery: abort requests (§IV-F)
     # ------------------------------------------------------------------
     def _arm_vote_timeout(self, entry: PendingTxn) -> None:
@@ -749,6 +1050,8 @@ class SdurServer:
             for partition in current.missing_votes():
                 if partition == self.partition:
                     continue
+                if not self.routing.knows_partition(partition):
+                    continue  # directory change in flight; next firing retries
                 self.fabric.abcast(
                     partition,
                     AbortRequest(

@@ -56,6 +56,33 @@ class GlobalSnapshotBuilder:
         self._txn_order: deque[TxnId] = deque()
 
     # ------------------------------------------------------------------
+    # Reconfiguration
+    # ------------------------------------------------------------------
+    def add_partition(self, partition: str) -> None:
+        """Start tracking a partition created by a split (idempotent)."""
+        if partition in self._known_sc:
+            return
+        self.partitions.append(partition)
+        self._known_sc[partition] = 0
+        self._complete_through[partition] = 0
+        self._evicted_below[partition] = 0
+        self._commits[partition] = deque()
+
+    def absorb_migration(self, source_sc: int) -> None:
+        """Initialize the own-partition frontier after installing a migration.
+
+        The new partition's store resumes at the source's counter; commits
+        at or below it happened at the source pre-split and are *not*
+        retained here, so the completeness watermark and the gossip
+        ``complete_from`` both start at ``source_sc`` — receivers never
+        treat the migrated prefix as summarized by this partition.
+        """
+        own = self.own_partition
+        self._known_sc[own] = max(self._known_sc[own], source_sc)
+        self._complete_through[own] = max(self._complete_through[own], source_sc)
+        self._evicted_below[own] = max(self._evicted_below[own], source_sc)
+
+    # ------------------------------------------------------------------
     # Ingest
     # ------------------------------------------------------------------
     def on_local_commit(
@@ -94,6 +121,10 @@ class GlobalSnapshotBuilder:
             self._txn_involved[tid] = involved
             self._txn_order.append(tid)
             self._evict()
+        elif not set(involved) <= set(self._txn_involved.get(tid, ())):
+            # Defensive merge: differing involved-sets from gossip sources.
+            merged = set(self._txn_involved.get(tid, ())) | set(involved)
+            self._txn_involved[tid] = tuple(sorted(merged))
         if partition in versions:
             return
         versions[partition] = version

@@ -107,6 +107,10 @@ class TxnProjection(Message):
     coordinator: str = ""
     #: Client node to notify with the outcome.
     client: str = ""
+    #: Configuration epoch the client routed under.  A partition whose
+    #: key ownership changed in a later epoch rejects the projection
+    #: (``StaleEpochNotice``) — its key routing may be stale.
+    epoch: int = 0
 
     @property
     def is_global(self) -> bool:

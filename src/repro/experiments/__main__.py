@@ -32,6 +32,7 @@ from repro.experiments import (
     fig4_reorder_wan1,
     fig5_reorder_wan2,
     fig6_social,
+    reconfig,
     scalability,
 )
 from repro.experiments.common import ExperimentTable
@@ -53,6 +54,7 @@ REGISTRY: dict[str, tuple[str, Callable[[bool], ExperimentTable]]] = {
     "A4": ("Paxos value-batching ablation", lambda q: ablation_batching.run(quick=q)),
     "A5": ("SDUR vs genuine atomic multicast", lambda q: ablation_multicast.run(quick=q)),
     "E1": ("Availability under leader failover", lambda q: ext_failover.run(quick=q)),
+    "E2": ("Live partition split under load", lambda q: reconfig.run(quick=q)),
 }
 
 

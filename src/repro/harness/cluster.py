@@ -25,6 +25,10 @@ from repro.core.partitioning import PartitionMap
 from repro.core.server import SdurServer
 from repro.errors import ConfigurationError
 from repro.geo.deployments import Deployment
+from repro.net.topology import NodeSpec
+from repro.reconfig.coordinator import plan_split
+from repro.reconfig.epochs import ConfigChange, VersionedRouting
+from repro.reconfig.messages import BeginSplit
 from repro.runtime.sim import SimWorld
 
 
@@ -50,23 +54,40 @@ class SdurCluster:
     ) -> None:
         self.world = world
         self.deployment = deployment
-        self.directory: ClusterDirectory = deployment.directory
-        self.partition_map = partition_map
+        #: The cluster's canonical (most advanced) routing view.  Each
+        #: server and client gets its own fork so protocol state machines
+        #: advance epochs independently, as they would across processes.
+        self.routing = VersionedRouting(deployment.directory, partition_map)
         self.config = config
         self.servers: dict[str, ServerHandle] = {}
         self.clients: dict[str, SdurClient] = {}
         self.recorder: HistoryRecorder | None = None
         self._started = False
 
+    @property
+    def directory(self) -> ClusterDirectory:
+        return self.routing.directory
+
+    @property
+    def partition_map(self) -> PartitionMap:
+        return self.routing.partition_map
+
     # ------------------------------------------------------------------
     # Assembly
     # ------------------------------------------------------------------
-    def _add_server(self, node_id: str, partition: str, paxos_config: PaxosConfig) -> None:
+    def _add_server(
+        self,
+        node_id: str,
+        partition: str,
+        paxos_config: PaxosConfig,
+        routing: VersionedRouting | None = None,
+    ) -> ServerHandle:
+        node_routing = (routing or self.routing).fork()
         runtime = self.world.runtime_for(node_id)
         fabric = AbcastFabric(
             runtime,
-            groups=self.directory.partitions,
-            coordinator_hints=self.directory.preferred,
+            groups=node_routing.directory.partitions,
+            coordinator_hints=node_routing.directory.preferred,
             # With elected (not pinned) leaders the static hint can die;
             # redundant submission keeps cross-partition broadcasts alive.
             redundant_submit=paxos_config.static_leader is None,
@@ -74,15 +95,16 @@ class SdurCluster:
         server = SdurServer(
             runtime=runtime,
             partition=partition,
-            directory=self.directory,
-            partition_map=self.partition_map,
+            directory=node_routing.directory,
+            partition_map=node_routing.partition_map,
             fabric=fabric,
             config=self.config,
+            routing=node_routing,
         )
         replica = PaxosReplica(
             runtime,
             group_id=partition,
-            members=self.directory.servers_of(partition),
+            members=node_routing.directory.servers_of(partition),
             config=paxos_config,
             on_deliver=server.on_adeliver,
         )
@@ -97,7 +119,9 @@ class SdurCluster:
                 server.handle(src, msg)
 
         runtime.listen(dispatch)
-        self.servers[node_id] = ServerHandle(node_id, partition, server, replica)
+        handle = ServerHandle(node_id, partition, server, replica)
+        self.servers[node_id] = handle
+        return handle
 
     def seed(self, data: dict[str, Any]) -> None:
         """Load initial data into every replica of each key's partition."""
@@ -154,10 +178,78 @@ class SdurCluster:
                 session_server = self.deployment.session_server_for(client_id)
             config = ClientConfig(session_server=session_server, **overrides)
         runtime = self.world.runtime_for(client_id)
-        client = SdurClient(runtime, self.directory, self.partition_map, config)
+        client_routing = self.routing.fork()
+        client = SdurClient(
+            runtime,
+            client_routing.directory,
+            client_routing.partition_map,
+            config,
+            routing=client_routing,
+        )
         runtime.listen(client.handle)
         self.clients[client_id] = client
         return client
+
+    # ------------------------------------------------------------------
+    # Elastic repartitioning
+    # ------------------------------------------------------------------
+    def split_partition(
+        self,
+        source: str,
+        *,
+        new_members: list[str] | None = None,
+        new_preferred: str | None = None,
+        salt: str | None = None,
+    ) -> ConfigChange:
+        """Split ``source`` live: spin up a new Paxos group and migrate.
+
+        Builds the :class:`ConfigChange`, adds the new partition's server
+        nodes (placed like the source's replicas), starts them, and kicks
+        the three-phase protocol off by broadcasting :class:`BeginSplit`
+        through the *source* partition's log — from there the servers run
+        the migration themselves while transactions keep committing.
+        Returns the change; clients learn it through the protocol
+        (stale-epoch notices and read-response epoch sniffing).
+        """
+        change = plan_split(
+            self.routing,
+            source,
+            new_members=new_members,
+            new_preferred=new_preferred,
+            salt=salt,
+        )
+        # Place the new replicas like the source's: same regions and
+        # datacenters, one for one.
+        source_members = self.routing.directory.servers_of(source)
+        topology = self.deployment.topology
+        for index, node_id in enumerate(change.new_members):
+            mirror = topology.spec(source_members[index % len(source_members)])
+            topology.add_node(
+                NodeSpec(node_id, mirror.region, mirror.datacenter)
+            )
+        # New servers are born already in the post-split configuration and
+        # hold their reads until the migration is installed.
+        post_routing = self.routing.fork()
+        post_routing.apply(change)
+        for node_id in change.new_members:
+            handle = self._add_server(
+                node_id,
+                change.new_partition,
+                PaxosConfig(static_leader=change.new_preferred),
+                routing=post_routing,
+            )
+            handle.server.await_migration()
+            if self.recorder is not None:
+                handle.server.on_commit_hook = self.recorder.server_hook(node_id)
+            if self._started:
+                handle.replica.start()
+                handle.server.start()
+        self.routing.apply(change)
+        # Kick off through the source partition's own log so every source
+        # replica switches epochs at the same position.
+        kicker = self.servers[source_members[0]].server
+        kicker.fabric.abcast(source, BeginSplit(change=change))
+        return change
 
     # ------------------------------------------------------------------
     # Instrumentation and fault injection

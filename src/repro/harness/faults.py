@@ -17,23 +17,24 @@ from repro.core.client import TxnResult
 from repro.errors import ConfigurationError
 from repro.harness.cluster import SdurCluster
 
-FaultKind = Literal["crash", "cut", "heal"]
+FaultKind = Literal["crash", "cut", "heal", "split"]
 
 
 @dataclass(frozen=True)
 class Fault:
-    """One scheduled fault."""
+    """One scheduled fault (or reconfiguration event)."""
 
     at: float
     kind: FaultKind
-    #: Node for crashes; ``(a, b)`` endpoints for cut/heal.
+    #: Node for crashes; ``(a, b)`` endpoints for cut/heal; the source
+    #: partition id for splits.
     target: str | tuple[str, str]
 
     def __post_init__(self) -> None:
         if self.at < 0:
             raise ConfigurationError("fault time must be non-negative")
-        if self.kind == "crash" and not isinstance(self.target, str):
-            raise ConfigurationError("crash targets one node")
+        if self.kind in ("crash", "split") and not isinstance(self.target, str):
+            raise ConfigurationError(f"{self.kind} targets one {'node' if self.kind == 'crash' else 'partition'}")
         if self.kind in ("cut", "heal") and (
             not isinstance(self.target, tuple) or len(self.target) != 2
         ):
@@ -59,6 +60,11 @@ class FaultSchedule:
 
     def heal(self, at: float, a: str, b: str) -> "FaultSchedule":
         self.faults.append(Fault(at=at, kind="heal", target=(a, b)))
+        return self
+
+    def split(self, at: float, partition: str) -> "FaultSchedule":
+        """Schedule a live split of ``partition`` (elastic repartitioning)."""
+        self.faults.append(Fault(at=at, kind="split", target=partition))
         return self
 
     def crash_region(self, at: float, cluster: SdurCluster, region: str) -> "FaultSchedule":
@@ -88,6 +94,8 @@ class FaultSchedule:
         elif fault.kind == "heal":
             a, b = fault.target  # type: ignore[misc]
             cluster.world.network.heal_link(a, b)
+        elif fault.kind == "split":
+            cluster.split_partition(fault.target)  # type: ignore[arg-type]
         self.fired.append((cluster.world.now, fault.kind, fault.target))
 
 

@@ -1,0 +1,55 @@
+"""Elastic repartitioning: live partition splits with epoch-versioned routing.
+
+SDUR's throughput grows with the partition count, but the seed system
+fixed that count at deployment time.  This package makes the directory a
+*versioned* object: every configuration change is a value ordered through
+the atomic broadcast of the affected partitions, so all replicas switch
+epochs at the same log position and certification stays deterministic
+(§IV-G: outcomes depend only on the delivery sequence, never on message
+arrival timing).
+
+Modules:
+
+* :mod:`repro.reconfig.epochs` — :class:`ConfigChange` and the
+  per-process :class:`VersionedRouting` view (directory + partition map
+  + ownership epochs).
+* :mod:`repro.reconfig.routing` — :class:`SplitPartitionMap`, the
+  key-level routing overlay that sends half a partition's keyspace to
+  the new partition.
+* :mod:`repro.reconfig.messages` — the wire protocol (``BeginSplit``,
+  ``InstallMigration``, ``FinishSplit``, ``StaleEpochNotice``, …).
+* :mod:`repro.reconfig.migration` — source-side split state: the write
+  barrier and the captured key-range snapshot.
+* :mod:`repro.reconfig.coordinator` — planning helpers that allocate
+  partition/server names and build a :class:`ConfigChange`.
+"""
+
+from repro.reconfig.coordinator import plan_split
+from repro.reconfig.epochs import ConfigChange, VersionedRouting, directory_with_split
+from repro.reconfig.messages import (
+    BeginSplit,
+    ConfigSnapshot,
+    FinishSplit,
+    GetConfig,
+    InstallMigration,
+    StaleEpochNotice,
+)
+from repro.reconfig.migration import SplitSource, moved_chains
+from repro.reconfig.routing import SplitPartitionMap, key_moves
+
+__all__ = [
+    "BeginSplit",
+    "ConfigChange",
+    "ConfigSnapshot",
+    "FinishSplit",
+    "GetConfig",
+    "InstallMigration",
+    "SplitPartitionMap",
+    "SplitSource",
+    "StaleEpochNotice",
+    "VersionedRouting",
+    "directory_with_split",
+    "key_moves",
+    "moved_chains",
+    "plan_split",
+]

@@ -1,0 +1,65 @@
+"""Split planning: allocate names and build the :class:`ConfigChange`.
+
+Pure bookkeeping — no protocol.  The harness (or an operator tool) calls
+:func:`plan_split` against its current routing view, registers the new
+server nodes in the topology, and abcasts a ``BeginSplit`` carrying the
+returned change into the source partition's log.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.core.directory import ClusterDirectory
+from repro.core.partitioning import PartitionMap
+from repro.errors import ConfigurationError
+from repro.reconfig.epochs import ConfigChange, VersionedRouting
+
+_SERVER_NAME = re.compile(r"^s(\d+)$")
+
+
+def next_partition_name(partition_map: PartitionMap) -> str:
+    """Partition ids stay dense: the next one is ``p{num_partitions}``."""
+    return PartitionMap.partition_name(partition_map.num_partitions)
+
+
+def allocate_server_names(directory: ClusterDirectory, count: int) -> list[str]:
+    """Fresh ``s{n}`` node ids continuing the deployment's numbering."""
+    highest = 0
+    for server in directory.all_servers():
+        match = _SERVER_NAME.match(server)
+        if match:
+            highest = max(highest, int(match.group(1)))
+    return [f"s{highest + i + 1}" for i in range(count)]
+
+
+def plan_split(
+    routing: VersionedRouting,
+    source: str,
+    replicas: int | None = None,
+    new_members: tuple[str, ...] | None = None,
+    new_preferred: str | None = None,
+    salt: str | None = None,
+) -> ConfigChange:
+    """Build the next epoch's change splitting ``source``.
+
+    Defaults: the new partition mirrors the source's replication factor,
+    its first member is preferred, and the salt is unique per epoch so
+    repeated splits of one partition move independent key halves.
+    """
+    if not routing.knows_partition(source):
+        raise ConfigurationError(f"cannot split unknown partition {source!r}")
+    if new_members is None:
+        want = replicas or len(routing.directory.servers_of(source))
+        new_members = tuple(allocate_server_names(routing.directory, want))
+    if not new_members:
+        raise ConfigurationError("new partition needs at least one member")
+    new_epoch = routing.epoch + 1
+    return ConfigChange(
+        new_epoch=new_epoch,
+        source=source,
+        new_partition=next_partition_name(routing.partition_map),
+        new_members=tuple(new_members),
+        new_preferred=new_preferred or new_members[0],
+        split_salt=salt or f"split-e{new_epoch}-{source}",
+    )

@@ -1,0 +1,130 @@
+"""Configuration epochs: the versioned directory and per-process routing view.
+
+The cluster configuration (which partitions exist, who replicates them,
+where keys live) is versioned by a monotonically increasing *epoch*.
+Epoch ``e`` becomes ``e+1`` by applying exactly one :class:`ConfigChange`
+— currently always a partition split.  The change is itself a value
+ordered through the source partition's atomic broadcast (a ``BeginSplit``
+carrying it), so every replica of the affected partitions switches
+epochs at the same log position.  Unaffected partitions and clients
+learn the change asynchronously (``ConfigSnapshot`` push / pull); for
+them the switch point does not matter because their *ownership epoch*
+(see below) is unchanged.
+
+Determinism invariant (§IV-G of the paper, extended): a server's
+``ownership_epoch(own partition)`` changes only at construction or when
+a ``BeginSplit`` is delivered in its own log.  Certification rejects a
+delivered transaction iff its epoch tag is below the ownership epoch —
+a predicate over log contents only, never message timing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.directory import ClusterDirectory
+from repro.core.partitioning import PartitionMap
+from repro.errors import ProtocolError
+from repro.net.message import Message, message
+from repro.reconfig.routing import SplitPartitionMap
+
+
+@message
+@dataclass(frozen=True)
+class ConfigChange(Message):
+    """One epoch transition: split ``source`` into ``source`` + ``new_partition``."""
+
+    new_epoch: int
+    source: str
+    new_partition: str
+    #: Server node ids forming the new partition's Paxos group.
+    new_members: tuple[str, ...]
+    new_preferred: str
+    #: Salt for :func:`repro.reconfig.routing.key_moves`.
+    split_salt: str
+    kind: str = "split"
+
+
+def directory_with_split(
+    directory: ClusterDirectory, change: ConfigChange
+) -> ClusterDirectory:
+    """The directory one epoch later: ``change.new_partition`` added.
+
+    The topology object is shared — new server nodes are registered in it
+    by whoever plans the split, before the change is broadcast.
+    """
+    partitions = {p: list(members) for p, members in directory.partitions.items()}
+    partitions[change.new_partition] = list(change.new_members)
+    preferred = dict(directory.preferred)
+    preferred[change.new_partition] = change.new_preferred
+    return ClusterDirectory(
+        partitions=partitions, preferred=preferred, topology=directory.topology
+    )
+
+
+class VersionedRouting:
+    """One process's view of the configuration at some epoch.
+
+    Holds the directory, the partition map, and the per-partition
+    *ownership epochs*: ``ownership_epoch(p)`` is the epoch of the last
+    change that altered which keys partition ``p`` owns (0 if never).
+    A transaction tagged with epoch ``e`` may be certified at ``p`` iff
+    ``e >= ownership_epoch(p)`` — older tags may route keys that have
+    since moved.  Changes that leave ``p``'s keyspace intact do not bump
+    its ownership epoch, so unaffected partitions keep certifying
+    old-epoch transactions through a reconfiguration (no global stall).
+    """
+
+    def __init__(self, directory: ClusterDirectory, partition_map: PartitionMap) -> None:
+        self.directory = directory
+        self.partition_map = partition_map
+        self.epoch = 0
+        self.changes: list[ConfigChange] = []
+        self._ownership: dict[str, int] = {}
+
+    def fork(self) -> "VersionedRouting":
+        """An independent copy (each node evolves its own view)."""
+        fork = VersionedRouting(self.directory, self.partition_map)
+        fork.epoch = self.epoch
+        fork.changes = list(self.changes)
+        fork._ownership = dict(self._ownership)
+        return fork
+
+    def ownership_epoch(self, partition: str) -> int:
+        return self._ownership.get(partition, 0)
+
+    def knows_partition(self, partition: str) -> bool:
+        return partition in self.directory.partitions
+
+    def changes_since(self, epoch: int) -> tuple[ConfigChange, ...]:
+        return tuple(change for change in self.changes if change.new_epoch > epoch)
+
+    def apply(self, change: ConfigChange) -> bool:
+        """Advance to ``change.new_epoch``; False if already applied.
+
+        Changes must arrive in epoch order (callers ship contiguous
+        ``changes_since`` lists); a gap is a protocol error.
+        """
+        if change.new_epoch <= self.epoch:
+            return False
+        if change.new_epoch != self.epoch + 1:
+            raise ProtocolError(
+                f"config epoch gap: at {self.epoch}, got change {change.new_epoch}"
+            )
+        self.directory = directory_with_split(self.directory, change)
+        self.partition_map = SplitPartitionMap(
+            self.partition_map, change.source, change.new_partition, change.split_salt
+        )
+        self.epoch = change.new_epoch
+        self.changes.append(change)
+        self._ownership[change.source] = change.new_epoch
+        self._ownership[change.new_partition] = change.new_epoch
+        return True
+
+    def apply_all(self, changes: Iterable[ConfigChange]) -> bool:
+        """Apply a contiguous change list; True if any advanced the epoch."""
+        applied = False
+        for change in sorted(changes, key=lambda c: c.new_epoch):
+            applied = self.apply(change) or applied
+        return applied

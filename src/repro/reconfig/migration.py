@@ -1,0 +1,55 @@
+"""Source-side split state: the write barrier and key-range capture.
+
+The migration plan is deliberately simple and deterministic:
+
+* At ``BeginSplit`` delivery the source replica records the set of
+  transactions already delivered but not yet completed (the *barrier*).
+  Those may still write moving keys — they carry valid pre-split epochs
+  — so capture waits for them.  Everything delivered after the split is
+  epoch-checked and can no longer touch the moving range, which is the
+  "brief per-range block": only the moving half is fenced, and only
+  until the in-flight tail drains; transactions on the retained half
+  keep committing throughout.
+* When the barrier empties, the replica captures the moving chains from
+  its mvstore.  Every replica computes the same capture at the same
+  store version (the barrier is derived from the shared log), but only
+  the partition leader ships it, avoiding duplicate proposals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.partitioning import PartitionMap
+from repro.core.transaction import TxnId
+from repro.reconfig.epochs import ConfigChange
+
+
+def moved_chains(
+    dump: dict[str, list[tuple[int, object]]],
+    partition_map: PartitionMap,
+    new_partition: str,
+) -> dict[str, list[tuple[int, object]]]:
+    """The subset of a store dump that routes to ``new_partition``."""
+    return {
+        key: chain
+        for key, chain in dump.items()
+        if partition_map.partition_of(key) == new_partition
+    }
+
+
+@dataclass
+class SplitSource:
+    """A source replica's in-flight split."""
+
+    change: ConfigChange
+    #: Transactions pending at ``BeginSplit`` delivery; capture waits
+    #: until all have completed (committed or aborted).
+    barrier: set[TxnId] = field(default_factory=set)
+    captured: bool = False
+    #: Keys shipped to the new partition (evicted at ``FinishSplit``).
+    moved_keys: frozenset[str] = frozenset()
+
+    @property
+    def ready_to_capture(self) -> bool:
+        return not self.captured and not self.barrier

@@ -1,0 +1,56 @@
+"""Key routing across a partition split.
+
+A split sends a deterministic half of the source partition's keyspace to
+the new partition.  The decision must be a pure function of the key and
+the split's salt — clients, servers, and the migration executor all
+evaluate it independently and must agree — so it hashes the key with
+CRC-32 (stable across processes, like :class:`PartitionMap` itself).
+
+:class:`SplitPartitionMap` is a routing overlay: it wraps the previous
+epoch's map and redirects moving keys, so repeated splits stack
+naturally (splitting ``p0`` twice wraps twice).
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from repro.core.partitioning import PartitionMap
+from repro.errors import ConfigurationError
+
+
+def key_moves(key: str, salt: str) -> bool:
+    """Does ``key`` move to the new partition under this split?
+
+    Salted so that splitting the same partition twice moves a fresh,
+    independent half each time.
+    """
+    return zlib.crc32(f"{salt}|{key}".encode()) & 1 == 1
+
+
+class SplitPartitionMap(PartitionMap):
+    """The previous epoch's map with one split applied on top."""
+
+    def __init__(
+        self,
+        base: PartitionMap,
+        source: str,
+        new_partition: str,
+        salt: str,
+    ) -> None:
+        expected = self.partition_name(base.num_partitions)
+        if new_partition != expected:
+            raise ConfigurationError(
+                f"split of {source!r} must create {expected!r}, got {new_partition!r}"
+            )
+        super().__init__(base.num_partitions + 1)
+        self.base = base
+        self.source = source
+        self.new_partition = new_partition
+        self.salt = salt
+
+    def partition_of(self, key: str) -> str:
+        partition = self.base.partition_of(key)
+        if partition == self.source and key_moves(key, self.salt):
+            return self.new_partition
+        return partition

@@ -23,10 +23,13 @@ class TraceEvent:
     node: str
     category: str
     detail: dict[str, Any] = field(default_factory=dict)
+    #: Per-tracer emission sequence: events at the same simulated time
+    #: keep a deterministic total order (``time``, then ``seq``).
+    seq: int = 0
 
     def __str__(self) -> str:
         items = " ".join(f"{key}={value!r}" for key, value in sorted(self.detail.items()))
-        return f"[{self.time:10.6f}] {self.node:>12} {self.category:<24} {items}"
+        return f"[{self.time:10.6f}#{self.seq}] {self.node:>12} {self.category:<24} {items}"
 
 
 class Tracer:
@@ -36,6 +39,7 @@ class Tracer:
         self.enabled = enabled
         self._clock = clock or (lambda: 0.0)
         self.events: list[TraceEvent] = []
+        self._seq = 0
 
     def bind_clock(self, clock: Callable[[], float]) -> None:
         """Attach the simulation clock used to timestamp events."""
@@ -45,10 +49,12 @@ class Tracer:
         """Record one event if tracing is enabled."""
         if not self.enabled:
             return
-        self.events.append(TraceEvent(self._clock(), node, category, detail))
+        self._seq += 1
+        self.events.append(TraceEvent(self._clock(), node, category, detail, self._seq))
 
     def clear(self) -> None:
         self.events.clear()
+        self._seq = 0
 
     def filter(self, category: str | None = None, node: str | None = None) -> Iterator[TraceEvent]:
         """Yield events matching the given category and/or node."""

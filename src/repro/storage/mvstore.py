@@ -148,6 +148,20 @@ class MultiVersionStore:
         """All retained versions of ``key`` (oldest first); for tests."""
         return list(self._versions.get(key, ()))
 
+    def evict_keys(self, keys: Iterator[Any] | list[Any] | frozenset[Any]) -> int:
+        """Drop entire version chains (keys migrated to another partition).
+
+        Unlike :meth:`collect_garbage` this removes keys wholesale: after
+        a partition split the moved keys live (with their full chains) at
+        the new partition, and the source must not serve them at any
+        snapshot.  Returns the number of keys actually dropped.
+        """
+        dropped = 0
+        for key in list(keys):
+            if self._versions.pop(key, None) is not None:
+                dropped += 1
+        return dropped
+
     # ------------------------------------------------------------------
     # Garbage collection
     # ------------------------------------------------------------------

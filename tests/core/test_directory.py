@@ -34,6 +34,29 @@ class TestValidation:
         with pytest.raises(ConfigurationError):
             ClusterDirectory(partitions={"p0": ["a"]}, preferred={})
 
+    def test_server_in_two_partitions_rejected(self):
+        with pytest.raises(ConfigurationError, match="replicates both"):
+            ClusterDirectory(
+                partitions={"p0": ["a", "b"], "p1": ["b", "c"]},
+                preferred={"p0": "a", "p1": "c"},
+            )
+
+    def test_member_absent_from_topology_rejected(self):
+        topology = Topology()
+        topology.add("a", EU)
+        with pytest.raises(ConfigurationError, match="topology"):
+            ClusterDirectory(
+                partitions={"p0": ["a", "ghost"]},
+                preferred={"p0": "a"},
+                topology=topology,
+            )
+
+    def test_empty_topology_skips_membership_check(self):
+        # Unit tests build directories without placement; only a
+        # populated topology is required to cover every member.
+        directory = ClusterDirectory(partitions={"p0": ["a"]}, preferred={"p0": "a"})
+        assert directory.servers_of("p0") == ["a"]
+
 
 class TestQueries:
     def test_servers_of(self, directory):

@@ -22,6 +22,10 @@ class TestFaultValidation:
         with pytest.raises(ConfigurationError):
             Fault(at=-1.0, kind="crash", target="a")
 
+    def test_split_needs_a_partition(self):
+        with pytest.raises(ConfigurationError):
+            Fault(at=1.0, kind="split", target=("p0", "p1"))
+
 
 class TestSchedule:
     def test_crash_fires_at_scheduled_time(self):
@@ -69,6 +73,41 @@ class TestSchedule:
         cluster.start()
         FaultSchedule().crash(0.5, "s3").arm(cluster)
         cluster.world.run_for(1.0)
+        assert run_txn(cluster, client, update_program(["0/x"])).committed
+
+
+class TestScheduleEdges:
+    def test_heal_of_never_cut_link_is_a_noop(self):
+        cluster = make_cluster(num_partitions=1)
+        cluster.start()
+        schedule = FaultSchedule().heal(1.0, "s1", "s2")
+        schedule.arm(cluster)
+        cluster.world.run_for(2.0)
+        assert schedule.fired == [(1.0, "heal", ("s1", "s2"))]
+        assert not cluster.world.network.link_is_cut("s1", "s2")
+
+    def test_two_faults_at_the_same_instant_both_fire(self):
+        cluster = make_cluster(num_partitions=1)
+        cluster.start()
+        schedule = FaultSchedule().crash(1.0, "s2").cut(1.0, "s1", "s3")
+        schedule.arm(cluster)
+        cluster.world.run_for(2.0)
+        assert len(schedule.fired) == 2
+        assert {kind for _, kind, _ in schedule.fired} == {"crash", "cut"}
+        assert cluster.world.network.is_crashed("s2")
+        assert cluster.world.network.link_is_cut("s1", "s3")
+
+    def test_crash_of_already_crashed_node_is_idempotent(self):
+        cluster = make_cluster(num_partitions=1)
+        cluster.seed({"0/x": 0})
+        client = cluster.add_client()
+        cluster.start()
+        schedule = FaultSchedule().crash(0.5, "s3").crash(1.0, "s3")
+        schedule.arm(cluster)
+        cluster.world.run_for(2.0)
+        assert [kind for _, kind, _ in schedule.fired] == ["crash", "crash"]
+        assert cluster.world.network.is_crashed("s3")
+        # The rest of the cluster is unaffected by the double crash.
         assert run_txn(cluster, client, update_program(["0/x"])).committed
 
 

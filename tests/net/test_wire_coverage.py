@@ -37,6 +37,15 @@ from repro.core.messages import (
 )
 from repro.core.transaction import ReadsetDigest, TxnId, TxnProjection
 from repro.net.message import roundtrip
+from repro.reconfig.epochs import ConfigChange
+from repro.reconfig.messages import (
+    BeginSplit,
+    ConfigSnapshot,
+    FinishSplit,
+    GetConfig,
+    InstallMigration,
+    StaleEpochNotice,
+)
 
 TID = TxnId("c9", 42)
 PROJ = TxnProjection(
@@ -58,6 +67,14 @@ BLOOM_PROJ = TxnProjection(
     partitions=("p0", "p1"),
     coordinator="s1",
     client="c9",
+)
+CHANGE = ConfigChange(
+    new_epoch=1,
+    source="p0",
+    new_partition="p2",
+    new_members=("s7", "s8", "s9"),
+    new_preferred="s7",
+    split_salt="split-e1-p0",
 )
 
 SAMPLES = [
@@ -101,6 +118,19 @@ SAMPLES = [
         globals_committed=((TID, 7, ("p0", "p1")),),
         complete_from=2,
     ),
+    # Reconfiguration
+    CHANGE,
+    BeginSplit(change=CHANGE),
+    InstallMigration(
+        change=CHANGE,
+        chains={"0/a": ((0, None), (4, "v")), "0/c": ((2, [1, 2]),)},
+        source_sc=9,
+        gc_horizon=2,
+    ),
+    FinishSplit(change=CHANGE),
+    StaleEpochNotice(tid=TID, partition="p0", epoch=1, changes=(CHANGE,)),
+    GetConfig(reply_to="c9", since_epoch=0),
+    ConfigSnapshot(epoch=1, changes=(CHANGE,)),
 ]
 
 
@@ -121,7 +151,12 @@ def test_every_registered_message_has_a_sample():
     """Keep this list honest: new protocol messages must be covered."""
     from repro.net.message import registry
 
-    protocol_modules = ("repro.consensus.messages", "repro.core.messages")
+    protocol_modules = (
+        "repro.consensus.messages",
+        "repro.core.messages",
+        "repro.reconfig.epochs",
+        "repro.reconfig.messages",
+    )
     covered = {type(m).__name__ for m in SAMPLES}
     registered = {
         name

@@ -46,3 +46,30 @@ class TestTracer:
         tracer.emit("n2", "abort")
         dump = tracer.dump()
         assert "commit" in dump and "abort" in dump and "t1" in dump
+
+    def test_sequence_numbers_are_monotonic(self):
+        tracer = Tracer(enabled=True)
+        for _ in range(5):
+            tracer.emit("n", "x")
+        seqs = [e.seq for e in tracer.events]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == 5
+
+    def test_sequence_breaks_ties_at_equal_sim_time(self):
+        # A frozen clock: every event lands at the same simulated time,
+        # yet (time, seq) still totally orders the emission sequence.
+        tracer = Tracer(enabled=True, clock=lambda: 1.5)
+        tracer.emit("n", "first")
+        tracer.emit("n", "second")
+        a, b = tracer.events
+        assert a.time == b.time
+        assert (a.time, a.seq) < (b.time, b.seq)
+        assert f"#{a.seq}" in str(a)
+
+    def test_clear_resets_sequence(self):
+        tracer = Tracer(enabled=True)
+        tracer.emit("n", "x")
+        first = tracer.events[0].seq
+        tracer.clear()
+        tracer.emit("n", "y")
+        assert tracer.events[0].seq == first
