@@ -1,0 +1,29 @@
+"""A6 — vote-ledger termination ablation (docs/PROTOCOL.md §14).
+
+Shape criteria: the ledger prices its soundness visibly — global commits
+slow by at least one local broadcast, every global certification orders
+a vote record (optimistic orders none), and per-partition log traffic is
+strictly higher — while throughput stays in the same regime.
+"""
+
+from repro.experiments import ablation_vote_ledger
+
+
+def test_a6_vote_ledger(table_runner):
+    table = table_runner(ablation_vote_ledger.run)
+    by_deployment = {}
+    for row in table.rows:
+        by_deployment.setdefault(row["deployment"], {})[row["termination"]] = row
+    assert len(by_deployment) >= 2, "must cover at least two WAN deployments"
+    for deployment, modes in by_deployment.items():
+        optimistic, ledger = modes["optimistic"], modes["ledger"]
+        assert optimistic["tput_total"] > 0 and ledger["tput_total"] > 0, deployment
+        # The ledger sequences votes; the optimistic baseline never does.
+        assert optimistic["votes_ordered"] == 0, deployment
+        assert ledger["votes_ordered"] > 0, deployment
+        # Re-sequencing votes costs log traffic.
+        assert ledger["log_proposals"] > optimistic["log_proposals"], deployment
+        # And latency: at least one extra local broadcast on the global
+        # path (the analytical delta is two; load noise keeps this loose).
+        assert ledger["global_avg_ms"] > optimistic["global_avg_ms"], deployment
+        assert ledger["ledger_aborts"] <= ledger["aborts"], deployment

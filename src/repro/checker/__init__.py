@@ -8,7 +8,14 @@ acyclic.  Property-based tests run randomized workloads through the whole
 stack and assert this end-to-end.
 """
 
+from repro.checker.agreement import AgreementReport, replica_agreement
 from repro.checker.history import HistoryRecorder
 from repro.checker.serializability import CheckReport, check_serializability
 
-__all__ = ["HistoryRecorder", "CheckReport", "check_serializability"]
+__all__ = [
+    "AgreementReport",
+    "HistoryRecorder",
+    "CheckReport",
+    "check_serializability",
+    "replica_agreement",
+]

@@ -39,6 +39,12 @@ class HistoryRecorder:
         self.results: list[TxnResult] = []
         #: Divergence errors found while recording (should stay empty).
         self.violations: list[str] = []
+        #: node -> ordered (version, tid) commit history, as reported.
+        #: The agreement checker diffs these across each partition's
+        #: replicas (see :mod:`repro.checker.agreement`).
+        self.per_replica: dict[str, list[tuple[int, TxnId]]] = {}
+        #: node -> partition the node replicates.
+        self.replica_partition: dict[str, str] = {}
 
     # ------------------------------------------------------------------
     # Server side
@@ -54,6 +60,8 @@ class HistoryRecorder:
     def on_commit(
         self, node_id: str, tid: TxnId, partition: str, version: int, proj: TxnProjection
     ) -> None:
+        self.per_replica.setdefault(node_id, []).append((version, tid))
+        self.replica_partition.setdefault(node_id, partition)
         per_partition = self.commits.setdefault(tid, {})
         point = per_partition.get(partition)
         if point is None:
@@ -98,16 +106,11 @@ class HistoryRecorder:
         ``expected_reporters`` maps partition -> replica count; when given,
         every commit must have been reported by every replica of its
         partition (use after the simulation has fully drained).
+
+        A convenience wrapper over
+        :func:`repro.checker.agreement.replica_agreement`, which returns
+        the structured report instead of raising.
         """
-        if self.violations:
-            raise AssertionError("; ".join(self.violations[:5]))
-        if expected_reporters is None:
-            return
-        for tid, per_partition in self.commits.items():
-            for partition, point in per_partition.items():
-                expected = expected_reporters.get(partition)
-                if expected is not None and len(point.reporters) != expected:
-                    raise AssertionError(
-                        f"{tid} in {partition}: reported by {len(point.reporters)} "
-                        f"of {expected} replicas"
-                    )
+        from repro.checker.agreement import replica_agreement
+
+        replica_agreement(self, expected_reporters).raise_if_failed()

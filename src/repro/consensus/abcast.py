@@ -45,6 +45,12 @@ class AbcastFabric:
         #: application layer) but survives a crashed hint — used when
         #: leaders are elected rather than pinned.
         self.redundant_submit = redundant_submit
+        #: Values this node handed to each partition's broadcast, by
+        #: partition id.  The vote-ledger ablation reads it to report log
+        #: traffic: ledger termination re-sequences every vote, so its
+        #: proposal counts exceed the optimistic mode's by roughly one
+        #: record per vote (duplicates from retry timers included).
+        self.proposed: dict[str, int] = {}
 
     def add_group(
         self, partition: str, members: list[str] | tuple[str, ...], hint: str | None = None
@@ -93,6 +99,7 @@ class AbcastFabric:
 
     def abcast(self, partition: str, value: Any) -> None:
         """Atomically broadcast ``value`` within ``partition``'s group."""
+        self.proposed[partition] = self.proposed.get(partition, 0) + 1
         replica = self.local_replicas.get(partition)
         if replica is not None:
             replica.propose(value)

@@ -37,10 +37,26 @@ class PendingTxn:
     #: failed certification); stays in the list until it reaches the head
     #: so that relative order — hence versions — is replica-independent.
     doomed: bool = False
+    #: Doomed by the deterministic deferral-cycle rule (an abort-request
+    #: delivered while this entry was deferred, and its TxnId was below
+    #: every dependency's).  Only set in ledger termination mode; drives
+    #: the ``vote_ledger_aborts`` counter at completion.
+    cycle_victim: bool = False
 
     @property
     def undecided(self) -> bool:
         return bool(self.deps) and not self.doomed
+
+    def min_dep(self) -> TxnId | None:
+        """Smallest pending transaction id this entry defers on.
+
+        The deferral-cycle rule compares it against the entry's own id:
+        in any persistent cross-partition wait cycle the globally
+        smallest deferred transaction eventually defers only on larger
+        ids, so "doom iff own id < every dependency's" aborts exactly
+        the cycle's minimum — at every replica, from log state alone.
+        """
+        return min(self.deps) if self.deps else None
 
     @property
     def tid(self) -> TxnId:

@@ -16,10 +16,16 @@ reacts to:
 * snapshot-vector gossip for read-only transactions.
 
 Determinism note: everything that affects commit *order* — certification,
-reordering, threshold bookkeeping — depends only on the delivery sequence
-and on vote contents, never on vote arrival times, which is the invariant
-behind the paper's correctness argument (§IV-G) and is exercised by the
-``test_determinism`` property tests.
+reordering, threshold bookkeeping — must depend only on the delivery
+sequence and on vote contents, never on vote arrival times; this is the
+invariant behind the paper's correctness argument (§IV-G) and is
+exercised by the ``test_determinism`` property tests.  In the default
+*ledger* termination mode (docs/PROTOCOL.md §14) the invariant is
+enforced structurally: votes are values ordered through the partition's
+own log (:mod:`repro.termination`) and take effect only at delivery.
+The *optimistic* mode applies votes on arrival, as the seed did; it is
+kept runnable as the `ablation_vote_ledger` baseline, where the
+ROADMAP's falsifying examples demonstrate its divergence and deadlock.
 """
 
 from __future__ import annotations
@@ -42,7 +48,7 @@ from repro.core.checkpoint import (
     window_from_wire,
     window_to_wire,
 )
-from repro.core.config import DelayMode, SdurConfig
+from repro.core.config import DelayMode, SdurConfig, TerminationMode
 from repro.core.directory import ClusterDirectory
 from repro.core.messages import (
     AbortRequest,
@@ -74,6 +80,7 @@ from repro.reconfig.messages import (
 from repro.reconfig.migration import SplitSource, moved_chains
 from repro.runtime.base import Runtime
 from repro.storage.mvstore import MultiVersionStore
+from repro.termination import VoteLedger, VoteRecord
 
 
 class ServerStats:
@@ -95,6 +102,14 @@ class ServerStats:
         self.checkpoints = 0
         self.reads_served = 0
         self.reads_routed = 0
+        #: Vote records delivered through this partition's own log
+        #: (ledger termination mode only; docs/PROTOCOL.md §14).
+        self.votes_ordered = 0
+        #: Deferral cycles broken by the deterministic lowest-TxnId rule.
+        self.cycles_resolved = 0
+        #: Aborts whose cause was a cycle-rule doom (a subset of
+        #: ``aborted_deferred`` — not added into :attr:`aborted`).
+        self.vote_ledger_aborts = 0
 
     @property
     def committed(self) -> int:
@@ -150,6 +165,21 @@ class SdurServer:
         #: Recently completed transactions (tid -> outcome), bounded.
         self._completed: OrderedDict[TxnId, str] = OrderedDict()
         self._completed_limit = 4 * self.config.history_window
+        #: Vote ledger (docs/PROTOCOL.md §14): every vote — our own and
+        #: relayed remote ones — is ordered through this partition's own
+        #: log and takes effect only at its delivery position.  ``None``
+        #: in optimistic mode, where votes apply on arrival (the seed's
+        #: unsound behavior, kept runnable for the ablation baseline).
+        self.ledger: VoteLedger | None = None
+        if self.config.termination_mode is TerminationMode.LEDGER:
+            self.ledger = VoteLedger(
+                runtime,
+                partition,
+                fabric.abcast,
+                retry_interval=self.config.ledger_retry_interval,
+                limit=self._completed_limit,
+            )
+            self.ledger.is_leader = lambda: self.is_partition_leader()
         #: Transactions killed by an abort-request before delivery
         #: (insertion-ordered so the backlog can be bounded).
         self._aborted_early: OrderedDict[TxnId, None] = OrderedDict()
@@ -449,6 +479,8 @@ class SdurServer:
             self._deliver_noop()
         elif isinstance(value, AbortRequest):
             self._deliver_abort_request(value)
+        elif isinstance(value, VoteRecord):
+            self._deliver_vote_record(value)
         elif isinstance(value, ThresholdChange):
             self._deliver_threshold_change(value)
         elif isinstance(value, BeginSplit):
@@ -489,6 +521,8 @@ class SdurServer:
         if tid in self._aborted_early:
             # An abort-request won the race (§IV-F): never certify.
             del self._aborted_early[tid]
+            if self.ledger is not None:
+                self.ledger.take_early(tid)  # discard; the txn is dead
             self._finish_aborted(proj, self.stats_bucket("recovery"))
             self._drain()
             return
@@ -514,6 +548,10 @@ class SdurServer:
         entry = PendingTxn(
             proj=proj, rt=rt, delivered_at=self.runtime.now(), deps=deps
         )
+        if proj.is_global and self.ledger is not None:
+            # Remote votes ledgered before this projection's position.
+            for partition, vote in self.ledger.take_early(tid).items():
+                entry.votes.setdefault(partition, vote)
         if deps:
             # Verdict depends on whether the conflicting pending entries
             # commit; defer (append — no reorder leap for deferred txns).
@@ -524,12 +562,17 @@ class SdurServer:
             self._drain()
             return
         if proj.is_global:
-            entry.votes[self.partition] = Outcome.COMMIT.value
-            buffered = self._vote_buffer.pop(tid, None)
-            if buffered:
-                for partition, vote in buffered.items():
-                    entry.votes.setdefault(partition, vote)
+            if self.ledger is None:
+                # Optimistic: the own vote takes effect right here, and
+                # arrival-time buffered votes merge in.
+                entry.votes[self.partition] = Outcome.COMMIT.value
+                buffered = self._vote_buffer.pop(tid, None)
+                if buffered:
+                    for partition, vote in buffered.items():
+                        entry.votes.setdefault(partition, vote)
             self.pending.append(entry)
+            # Ledger mode: _send_votes orders our COMMIT verdict through
+            # our own log; it lands in entry.votes at self-delivery.
             self._send_votes(proj, Outcome.COMMIT)
             self._arm_vote_timeout(entry)
             self._arm_noop_ticker()
@@ -579,13 +622,16 @@ class SdurServer:
 
     def _decide_deferred(self, entry: PendingTxn) -> None:
         """All dependencies aborted: the deferred certification passes."""
-        entry.votes[self.partition] = Outcome.COMMIT.value
-        if entry.proj.is_global:
+        if not entry.proj.is_global:
+            entry.votes[self.partition] = Outcome.COMMIT.value
+            return
+        if self.ledger is None:
+            entry.votes[self.partition] = Outcome.COMMIT.value
             buffered = self._vote_buffer.pop(entry.tid, None)
             if buffered:
                 for partition, vote in buffered.items():
                     entry.votes.setdefault(partition, vote)
-            self._send_votes(entry.proj, Outcome.COMMIT)
+        self._send_votes(entry.proj, Outcome.COMMIT)
 
     def stats_bucket(self, kind: str) -> str:
         """Record an abort in its stats bucket; returns ``kind`` back."""
@@ -647,17 +693,43 @@ class SdurServer:
     # Votes (Algorithm 2 lines 13–14, 21–22)
     # ------------------------------------------------------------------
     def _send_votes(self, proj: TxnProjection, outcome: Outcome) -> None:
-        vote = Vote(tid=proj.tid, partition=self.partition, vote=outcome.value)
-        for partition in proj.other_partitions():
+        """Cast this partition's verdict for ``proj``.
+
+        Optimistic mode emits the inter-partition :class:`Vote` at once.
+        Ledger mode first orders the verdict through our own log as a
+        :class:`VoteRecord`; the Vote goes out at its delivery position
+        (:meth:`_deliver_vote_record`), so a replayed log re-derives both
+        the verdict and its emission.
+        """
+        if self.ledger is not None:
+            self.ledger.ledger(
+                proj.tid, self.partition, outcome.value, tuple(proj.partitions)
+            )
+        else:
+            self._emit_vote(proj.tid, outcome.value, tuple(proj.partitions))
+
+    def _emit_vote(self, tid: TxnId, vote: str, involved: tuple[str, ...]) -> None:
+        """Send this partition's vote to every other involved partition."""
+        msg = Vote(tid=tid, partition=self.partition, vote=vote)
+        for partition in involved:
+            if partition == self.partition:
+                continue
             if not self.routing.knows_partition(partition):
                 # A partition created by a split whose directory change
                 # has not reached this node yet; flush when it does.
-                self._deferred_votes.append((partition, vote))
+                self._deferred_votes.append((partition, msg))
                 continue
             for server in self.directory.servers_of(partition):
-                self.runtime.send(server, vote)
+                self.runtime.send(server, msg)
 
     def _on_vote(self, src: str, msg: Vote) -> None:
+        if self.ledger is not None:
+            # Ledger mode: never touch protocol state at arrival time.
+            # Re-sequence the remote vote through our own log; it takes
+            # effect at its delivery position, identically everywhere.
+            if msg.tid not in self._completed:
+                self.ledger.ledger(msg.tid, msg.partition, msg.vote)
+            return
         entry = self.pending.get(msg.tid)
         if entry is not None:
             entry.votes.setdefault(msg.partition, msg.vote)
@@ -666,6 +738,31 @@ class SdurServer:
         if msg.tid in self._completed:
             return
         self._vote_buffer.setdefault(msg.tid, {}).setdefault(msg.partition, msg.vote)
+
+    def _deliver_vote_record(self, record: VoteRecord) -> None:
+        """A vote reached its position in our own log (ledger mode).
+
+        Does not bump ``dc`` (vote records are not transactions and must
+        not advance reorder thresholds) and is never snapshot-gated.
+        """
+        if self.ledger is None or not self.ledger.on_delivered(record):
+            # Optimistic replay of a ledger-mode log, or a duplicate
+            # proposal (outbox retries race the leader's own proposal).
+            return
+        self.stats.votes_ordered += 1
+        if record.partition == self.partition and record.involved:
+            # Our own verdict is now durable in log order: only here does
+            # the inter-partition Vote go out (Figure 1's message ⑥,
+            # one local broadcast later than in the optimistic mode).
+            self._emit_vote(record.tid, record.vote, record.involved)
+        entry = self.pending.get(record.tid)
+        if entry is not None:
+            entry.votes.setdefault(record.partition, record.vote)
+            self._drain()
+            return
+        if record.tid in self._completed or record.tid in self._aborted_early:
+            return
+        self.ledger.buffer_early(record)
 
     # ------------------------------------------------------------------
     # Completion (Algorithm 2 lines 23–40)
@@ -738,6 +835,8 @@ class SdurServer:
                 "sdur.commit", tid=str(proj.tid), version=version, is_global=proj.is_global
             )
         else:
+            if entry.cycle_victim:
+                self.stats.vote_ledger_aborts += 1
             self.stats_bucket("deferred" if entry.doomed else "votes")
             self.runtime.trace("sdur.abort", tid=str(proj.tid), reason="votes")
         self._record_completed(proj.tid, outcome)
@@ -1068,6 +1167,9 @@ class SdurServer:
         self.runtime.set_timer(self.config.vote_timeout, fire)
 
     def _deliver_abort_request(self, msg: AbortRequest) -> None:
+        if self.ledger is not None:
+            self._deliver_abort_request_ledger(msg)
+            return
         tid = msg.tid
         if tid in self._completed or tid in self.pending or tid in self._aborted_early:
             # The transaction arrived first: the request loses the race.
@@ -1082,3 +1184,57 @@ class SdurServer:
             for server in self.directory.servers_of(partition):
                 if server not in own:
                     self.runtime.send(server, vote)
+
+    def _deliver_abort_request_ledger(self, msg: AbortRequest) -> None:
+        """Ledger-mode abort-request semantics (docs/PROTOCOL.md §14.3).
+
+        Every branch below reads only log-derived state, so all replicas
+        of this partition act identically at this log position:
+
+        * **completed** — re-emit the recorded verdict.  The optimistic
+          handler silently dropped this case, wedging a requester whose
+          original Vote was lost (e.g. across a checkpoint restore).
+        * **pending, decided** — the verdict is already in (or on its way
+          through) the log; re-emit it if self-delivery happened, else
+          the in-flight VoteRecord will emit it.
+        * **pending, deferred** — the deterministic cycle rule: doom the
+          entry iff its id precedes every dependency's.  In any
+          persistent cross-partition deferral cycle the globally smallest
+          transaction eventually defers only on larger ids, so exactly
+          the cycle's minimum aborts — at every replica, with no timing
+          input.  Requesters re-fire on their vote timeout, so one missed
+          round costs latency, never liveness.
+        * **undelivered** — abort early, exactly as in optimistic mode,
+          but with the abort vote ordered through our log.
+        """
+        tid = msg.tid
+        outcome = self._completed.get(tid)
+        if outcome is not None:
+            self._emit_vote(tid, outcome, tuple(msg.involved))
+            return
+        entry = self.pending.get(tid)
+        if entry is not None:
+            if not entry.undecided:
+                own = entry.votes.get(self.partition)
+                if own is not None:
+                    self._emit_vote(tid, own, tuple(msg.involved))
+                return
+            low = entry.min_dep()
+            if low is not None and entry.tid < low:
+                self.stats.cycles_resolved += 1
+                entry.cycle_victim = True
+                self.runtime.trace("sdur.cycle_break", tid=str(tid))
+                self._doom(entry)
+                self._resolve_dependents(tid, committed=False)
+                self._drain()
+            return
+        if tid in self._aborted_early:
+            # Already killed by an earlier request; re-ledger is a no-op
+            # thanks to proposal dedup, but re-ledgering keeps the abort
+            # vote flowing if the first record is still in flight.
+            self.ledger.ledger(tid, self.partition, Outcome.ABORT.value, tuple(msg.involved))
+            return
+        self._aborted_early[tid] = None
+        while len(self._aborted_early) > self._completed_limit:
+            self._aborted_early.popitem(last=False)
+        self.ledger.ledger(tid, self.partition, Outcome.ABORT.value, tuple(msg.involved))

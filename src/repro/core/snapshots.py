@@ -54,12 +54,23 @@ class GlobalSnapshotBuilder:
         self._txn_versions: dict[TxnId, dict[str, int]] = {}
         self._txn_involved: dict[TxnId, tuple[str, ...]] = {}
         self._txn_order: deque[TxnId] = deque()
+        #: Gossip from partitions this builder has not learned yet (a
+        #: split's directory change still in flight): bounded FIFO,
+        #: replayed by :meth:`add_partition`.  Dropping these instead
+        #: (the old behavior) parked the new partition's frontier at 0
+        #: until the *next* gossip round after the change arrived.
+        self._pending_gossip: deque[CommitGossip] = deque()
 
     # ------------------------------------------------------------------
     # Reconfiguration
     # ------------------------------------------------------------------
     def add_partition(self, partition: str) -> None:
-        """Start tracking a partition created by a split (idempotent)."""
+        """Start tracking a partition created by a split (idempotent).
+
+        Replays any gossip from ``partition`` that arrived before the
+        directory change did, so the new partition's frontier catches up
+        immediately instead of waiting out another gossip interval.
+        """
         if partition in self._known_sc:
             return
         self.partitions.append(partition)
@@ -67,6 +78,13 @@ class GlobalSnapshotBuilder:
         self._complete_through[partition] = 0
         self._evicted_below[partition] = 0
         self._commits[partition] = deque()
+        if self._pending_gossip:
+            replayable = [m for m in self._pending_gossip if m.partition == partition]
+            self._pending_gossip = deque(
+                m for m in self._pending_gossip if m.partition != partition
+            )
+            for msg in replayable:
+                self.on_gossip(msg)
 
     def absorb_migration(self, source_sc: int) -> None:
         """Initialize the own-partition frontier after installing a migration.
@@ -100,6 +118,12 @@ class GlobalSnapshotBuilder:
 
     def on_gossip(self, msg: CommitGossip) -> None:
         if msg.partition not in self._known_sc:
+            # Unknown sender: a split we have not been told about yet.
+            # Buffer (bounded) for replay at add_partition() rather than
+            # silently dropping the payload.
+            self._pending_gossip.append(msg)
+            while len(self._pending_gossip) > self.history:
+                self._pending_gossip.popleft()
             return
         for tid, version, involved in msg.globals_committed:
             self._record(msg.partition, version, tid, involved)

@@ -25,6 +25,7 @@ from repro.experiments import (
     ablation_bloom,
     ablation_learning,
     ablation_threshold,
+    ablation_vote_ledger,
     aborts,
     fig1_model,
     fig2_baseline,
@@ -53,6 +54,7 @@ REGISTRY: dict[str, tuple[str, Callable[[bool], ExperimentTable]]] = {
     "A3": ("Paxos learning-strategy ablation", lambda q: ablation_learning.run(quick=q)),
     "A4": ("Paxos value-batching ablation", lambda q: ablation_batching.run(quick=q)),
     "A5": ("SDUR vs genuine atomic multicast", lambda q: ablation_multicast.run(quick=q)),
+    "A6": ("Vote-ledger termination ablation", lambda q: ablation_vote_ledger.run(quick=q)),
     "E1": ("Availability under leader failover", lambda q: ext_failover.run(quick=q)),
     "E2": ("Live partition split under load", lambda q: reconfig.run(quick=q)),
 }

@@ -15,7 +15,18 @@ and serves a remote read (a global transaction at P1 reading P2's data
 through a co-located replica) in 2δ.  WAN 1 tolerates datacenter failures
 but not the loss of a whole region; WAN 2 tolerates both.
 
-The simulator is validated against these closed forms in
+The figure's arithmetic assumes *optimistic* vote termination: a
+partition's vote leaves the moment its verdict is decided and takes
+effect at the receiver on arrival.  The default *ledger* termination
+(docs/PROTOCOL.md §14) inserts one local atomic broadcast at each end of
+the vote path — the voter orders its verdict through its own log before
+the ``Vote`` goes out, and the receiver re-sequences the incoming vote
+through *its* log before the vote counts — so a global commit pays two
+extra local broadcasts: +4δ in WAN 1 (each local broadcast is 2δ) and
++4Δ in WAN 2 (replicas span regions, so a "local" broadcast costs 2Δ).
+Local transactions are unaffected in both deployments.
+
+The simulator is validated against these closed forms, in both modes, in
 ``tests/integration/test_latency_model.py`` and the comparison is printed
 by experiment T1.
 """
@@ -48,25 +59,38 @@ class AnalyticalLatencies:
         }
 
 
-def analytical_latencies(deployment: str, delta: float, inter_delta: float) -> AnalyticalLatencies:
+def analytical_latencies(
+    deployment: str, delta: float, inter_delta: float, termination: str = "optimistic"
+) -> AnalyticalLatencies:
     """Figure 1's formulas for ``deployment`` in {"wan1", "wan2"}.
 
     ``delta`` is δ (intra-region one-way delay), ``inter_delta`` is Δ.
+    ``termination`` selects the vote path: ``"optimistic"`` is the
+    figure's arithmetic; ``"ledger"`` adds one local broadcast at the
+    voter and one at the receiver to every global commit (see the module
+    docstring), leaving locals and reads untouched.
     """
+    if termination not in ("optimistic", "ledger"):
+        raise ValueError(f"unknown termination {termination!r}")
     if deployment == "wan1":
+        # One local broadcast costs 2δ; the ledger puts two more of them
+        # on the global critical path (voter + receiver).
+        vote_tax = 4 * delta if termination == "ledger" else 0.0
         return AnalyticalLatencies(
             deployment="wan1",
             local_commit=4 * delta,
-            global_commit=4 * delta + 2 * inter_delta,
+            global_commit=4 * delta + 2 * inter_delta + vote_tax,
             remote_read=2 * delta,
             tolerates_datacenter_failure=True,
             tolerates_region_failure=False,
         )
     if deployment == "wan2":
+        # Replicas span regions, so each extra "local" broadcast is 2Δ.
+        vote_tax = 4 * inter_delta if termination == "ledger" else 0.0
         return AnalyticalLatencies(
             deployment="wan2",
             local_commit=2 * delta + 2 * inter_delta,
-            global_commit=3 * delta + 3 * inter_delta,
+            global_commit=3 * delta + 3 * inter_delta + vote_tax,
             remote_read=2 * delta,
             tolerates_datacenter_failure=True,
             tolerates_region_failure=True,

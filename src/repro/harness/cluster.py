@@ -280,6 +280,9 @@ class SdurCluster:
                 "reordered": stats.reordered,
                 "noops_sent": stats.noops_sent,
                 "reads_served": stats.reads_served,
+                "votes_ordered": stats.votes_ordered,
+                "cycles_resolved": stats.cycles_resolved,
+                "vote_ledger_aborts": stats.vote_ledger_aborts,
             }
         return out
 

@@ -90,6 +90,10 @@ class ExperimentRun:
     def cdf(self, **filters: object) -> list[tuple[float, float]]:
         return self.collector.latency_cdf(self.window_start, self.window_end, **filters)
 
+    def counter(self, name: str) -> int:
+        """Cluster-wide total of one server protocol counter."""
+        return self.collector.counter_total(name)
+
 
 def run_experiment(
     cluster: SdurCluster,
@@ -114,6 +118,7 @@ def run_experiment(
     for driver in drivers:
         driver.stop()
     cluster.world.run(until=warmup + measure + drain)
+    collector.ingest_server_stats(cluster.server_stats())
     return ExperimentRun(
         cluster=cluster,
         collector=collector,

@@ -34,9 +34,27 @@ class MetricsCollector:
 
     def __init__(self) -> None:
         self.results: list[TxnResult] = []
+        #: node -> protocol counters, as reported by the servers at the
+        #: end of a run (``SdurServer.stats`` via ``ingest_server_stats``).
+        self.server_counters: dict[str, dict[str, int]] = {}
 
     def record(self, result: TxnResult) -> None:
         self.results.append(result)
+
+    def ingest_server_stats(self, stats: dict[str, dict[str, int]]) -> None:
+        """Absorb per-server protocol counters (merged by node id).
+
+        Experiment tables read these through :meth:`counter_total` — e.g.
+        ``votes_ordered`` / ``cycles_resolved`` / ``vote_ledger_aborts``
+        for the vote-ledger ablation.
+        """
+        for node_id, counters in stats.items():
+            merged = self.server_counters.setdefault(node_id, {})
+            merged.update(counters)
+
+    def counter_total(self, name: str) -> int:
+        """Sum of one protocol counter across every reporting server."""
+        return sum(counters.get(name, 0) for counters in self.server_counters.values())
 
     def __len__(self) -> int:
         return len(self.results)

@@ -2,11 +2,24 @@
 
 from __future__ import annotations
 
+import os
 import random
 
 import pytest
+from hypothesis import settings as hypothesis_settings
 
 from repro.core.client import ReadMany, SdurClient, TxnResult
+
+# Derandomized hypothesis profile for CI: examples are generated from a
+# fixed seed (reproducible across runs) and failures print the full
+# ``@reproduce_failure`` blob so a falsifying example can be promoted
+# into a deterministic regression (see
+# tests/properties/test_vote_ledger_regression.py for the pattern).
+# Activate with ``HYPOTHESIS_PROFILE=ci``.
+hypothesis_settings.register_profile(
+    "ci", derandomize=True, print_blob=True, deadline=None
+)
+hypothesis_settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
 from repro.core.config import SdurConfig
 from repro.core.partitioning import PartitionMap
 from repro.geo.deployments import Deployment, lan_deployment, wan1_deployment

@@ -6,7 +6,7 @@ deferred verdicts, dooming, and dependency resolution (the protocol
 corrections documented in DESIGN.md).
 """
 
-from repro.core.config import SdurConfig
+from repro.core.config import SdurConfig, TerminationMode
 from repro.core.directory import ClusterDirectory
 from repro.core.messages import OutcomeNotice, Vote
 from repro.core.partitioning import PartitionMap
@@ -47,7 +47,14 @@ def make_server(world=None):
         directory=directory,
         partition_map=PartitionMap.by_index(2),
         fabric=FakeFabric(),
-        config=SdurConfig(vote_timeout=None, gossip_interval=None),
+        # Optimistic termination: these tests pin the seed's arrival-time
+        # vote semantics (votes below act the moment handle() sees them).
+        # Ledger-mode semantics are covered by tests/core/test_vote_ledger.py.
+        config=SdurConfig(
+            vote_timeout=None,
+            gossip_interval=None,
+            termination_mode=TerminationMode.OPTIMISTIC,
+        ),
     )
     runtime.listen(server.handle)
     return world, server, sent

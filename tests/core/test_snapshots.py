@@ -42,6 +42,43 @@ class TestBasics:
         builder.on_gossip(CommitGossip(partition="p9", sc=5))
         assert builder.vector() == {"p0": 0, "p1": 0}
 
+    def test_unknown_partition_gossip_replayed_on_register(self, builder):
+        """Gossip racing a split's directory change is buffered, not lost:
+        registering the partition replays it so the frontier catches up
+        without waiting out another gossip interval."""
+        builder.on_gossip(
+            CommitGossip(
+                partition="p9", sc=5, globals_committed=((tid(3), 4, ("p1", "p9")),)
+            )
+        )
+        builder.on_gossip(
+            CommitGossip(
+                partition="p1", sc=7, globals_committed=((tid(3), 6, ("p1", "p9")),)
+            )
+        )
+        builder.add_partition("p9")
+        vector = builder.vector()
+        assert vector["p9"] == 5
+        assert vector["p1"] == 7  # the shared global is fully visible
+
+    def test_pending_gossip_buffer_is_bounded(self):
+        builder = GlobalSnapshotBuilder(["p0", "p1"], "p0", history=4)
+        for sc in range(1, 10):
+            builder.on_gossip(CommitGossip(partition="p9", sc=sc))
+        assert len(builder._pending_gossip) == 4
+        builder.add_partition("p9")
+        assert builder.vector()["p9"] == 9  # newest payloads survived
+        assert not builder._pending_gossip
+
+    def test_replay_only_consumes_matching_partition(self, builder):
+        builder.on_gossip(CommitGossip(partition="p8", sc=2))
+        builder.on_gossip(CommitGossip(partition="p9", sc=3))
+        builder.add_partition("p9")
+        assert builder.vector()["p9"] == 3
+        assert [m.partition for m in builder._pending_gossip] == ["p8"]
+        builder.add_partition("p8")
+        assert builder.vector()["p8"] == 2
+
     def test_gossip_is_monotone(self, builder):
         builder.on_gossip(CommitGossip(partition="p1", sc=7))
         builder.on_gossip(CommitGossip(partition="p1", sc=3))  # stale

@@ -6,6 +6,7 @@ at different times (§IV-G.3).  And the whole simulation must be
 bit-reproducible from its seed.
 """
 
+from repro.checker.agreement import replica_agreement
 from repro.core.config import SdurConfig
 from repro.experiments.common import GeoRunParams, run_geo_microbench
 from tests.conftest import make_cluster, make_wan1_cluster, run_txn, update_program
@@ -39,12 +40,12 @@ class TestReplicaAgreement:
         cluster = make_cluster(num_partitions=2)
         recorder, done = run_mixed_workload(cluster)
         assert len(done) == 40
-        recorder.assert_replica_agreement(cluster.replica_counts())
+        replica_agreement(recorder, cluster.replica_counts()).raise_if_failed()
 
     def test_all_replicas_commit_same_versions_with_reordering(self):
         cluster = make_cluster(num_partitions=2, config=SdurConfig(reorder_threshold=8))
         recorder, done = run_mixed_workload(cluster)
-        recorder.assert_replica_agreement(cluster.replica_counts())
+        replica_agreement(recorder, cluster.replica_counts()).raise_if_failed()
 
     def test_reordering_on_wan_with_asymmetric_vote_arrival(self):
         """The WAN 1 deployment makes vote arrival times wildly different
@@ -54,7 +55,7 @@ class TestReplicaAgreement:
         recorder, done = run_mixed_workload(cluster)
         committed = [r for r in done if r.committed]
         assert committed, "workload must commit something"
-        recorder.assert_replica_agreement(cluster.replica_counts())
+        replica_agreement(recorder, cluster.replica_counts()).raise_if_failed()
 
     def test_stores_identical_across_replicas(self):
         cluster = make_cluster(num_partitions=2, config=SdurConfig(reorder_threshold=4))

@@ -10,13 +10,18 @@ the two reads subtracted) must match:
 * WAN 2 global: between 3δ+2Δ (broadcast learning) and 2δ+4Δ (relay —
   the remote coordinator's vote travels one Δ after its 2Δ decision),
   bracketing the paper's 3δ+3Δ.
+
+The figure assumes optimistic vote termination, so those cases pin the
+OPTIMISTIC mode; the ledger cases check the revised arithmetic of
+docs/PROTOCOL.md §14 — two extra local broadcasts per global commit
+(+4δ on WAN 1, +4Δ on WAN 2), locals unchanged.
 """
 
 import pytest
 
 from repro.consensus.replica import PaxosConfig
 from repro.core.partitioning import PartitionMap
-from repro.core.config import SdurConfig
+from repro.core.config import SdurConfig, TerminationMode
 from repro.geo.analytical import analytical_latencies
 from repro.geo.deployments import wan1_deployment, wan2_deployment
 from repro.harness.cluster import SdurCluster
@@ -28,14 +33,24 @@ DELTA = 0.005
 INTER = 0.060
 
 
-def measure(deployment_name: str, is_global: bool, accepted_broadcast: bool = False) -> float:
+def measure(
+    deployment_name: str,
+    is_global: bool,
+    accepted_broadcast: bool = False,
+    termination: TerminationMode = TerminationMode.OPTIMISTIC,
+) -> float:
     deployment = wan1_deployment(2) if deployment_name == "wan1" else wan2_deployment(2)
     world = SimWorld(
         topology=deployment.topology,
         latency=RegionLatencyModel.uniform(deployment.topology, DELTA, INTER),
         seed=13,
     )
-    cluster = SdurCluster(world, deployment, PartitionMap.by_index(2), SdurConfig())
+    cluster = SdurCluster(
+        world,
+        deployment,
+        PartitionMap.by_index(2),
+        SdurConfig(termination_mode=termination),
+    )
     for partition in deployment.partition_ids:
         for node in deployment.directory.servers_of(partition):
             cluster._add_server(
@@ -75,6 +90,32 @@ class TestFigure1:
         assert broadcast == pytest.approx(3 * DELTA + 2 * INTER, abs=2e-3)
         assert relay == pytest.approx(2 * DELTA + 4 * INTER, abs=2e-3)
         assert broadcast <= paper <= relay
+
+    def test_ledger_locals_pay_no_vote_tax(self):
+        for deployment in ("wan1", "wan2"):
+            expected = analytical_latencies(
+                deployment, DELTA, INTER, termination="ledger"
+            ).local_commit
+            got = measure(deployment, is_global=False, termination=TerminationMode.LEDGER)
+            assert got == pytest.approx(expected, abs=1e-3), deployment
+
+    def test_ledger_wan1_global_adds_two_local_broadcasts(self):
+        expected = analytical_latencies("wan1", DELTA, INTER, termination="ledger")
+        got = measure("wan1", is_global=True, termination=TerminationMode.LEDGER)
+        assert got == pytest.approx(expected.global_commit, abs=1e-3)  # 8δ + 2Δ
+
+    def test_ledger_wan2_global_brackets_revised_formula(self):
+        revised = analytical_latencies(
+            "wan2", DELTA, INTER, termination="ledger"
+        ).global_commit  # 3δ + 7Δ
+        relay = measure("wan2", is_global=True, termination=TerminationMode.LEDGER)
+        broadcast = measure(
+            "wan2", is_global=True, accepted_broadcast=True,
+            termination=TerminationMode.LEDGER,
+        )
+        assert broadcast == pytest.approx(3 * DELTA + 6 * INTER, abs=2e-3)
+        assert relay == pytest.approx(2 * DELTA + 8 * INTER, abs=2e-3)
+        assert broadcast <= revised <= relay
 
     def test_remote_read_is_2_delta(self):
         """A global transaction reads the remote partition via its

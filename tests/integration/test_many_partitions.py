@@ -1,5 +1,6 @@
 """SDUR beyond two partitions: wide deployments and wide transactions."""
 
+from repro.checker.agreement import replica_agreement
 from repro.checker.serializability import check_serializability
 from repro.core.config import SdurConfig
 from repro.core.partitioning import PartitionMap
@@ -65,7 +66,7 @@ class TestFourPartitionsLan:
             recorder.record_result(result)
         assert len(done) == 60
         check_serializability(recorder).raise_if_failed()
-        recorder.assert_replica_agreement(cluster.replica_counts())
+        replica_agreement(recorder, cluster.replica_counts()).raise_if_failed()
 
 
 class TestFourPartitionsWan:
@@ -100,4 +101,4 @@ class TestFourPartitionsWan:
         for result in done:
             recorder.record_result(result)
         check_serializability(recorder).raise_if_failed()
-        recorder.assert_replica_agreement(cluster.replica_counts())
+        replica_agreement(recorder, cluster.replica_counts()).raise_if_failed()

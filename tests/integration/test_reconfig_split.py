@@ -11,6 +11,7 @@ spanning a split are a documented limitation (see docs/PROTOCOL.md,
 "Reconfiguration epochs").
 """
 
+from repro.checker.agreement import replica_agreement
 from repro.checker.serializability import check_serializability
 from repro.harness.faults import FaultSchedule
 from repro.reconfig import key_moves
@@ -73,7 +74,7 @@ class TestLiveSplit:
 
         # No committed transaction lost or double-applied.
         check_serializability(recorder).raise_if_failed()
-        recorder.assert_replica_agreement(cluster.replica_counts())
+        replica_agreement(recorder, cluster.replica_counts()).raise_if_failed()
 
         # Clients rerouted via the stale-epoch protocol and none gave up.
         assert sum(c.stats.epoch_retries for c in clients) >= 1

@@ -8,6 +8,7 @@ the recorded history to the multiversion serialization-graph checker.
 
 import pytest
 
+from repro.checker.agreement import replica_agreement
 from repro.checker.serializability import check_serializability
 from repro.core.config import DelayMode, SdurConfig
 from tests.conftest import make_cluster, make_wan1_cluster, update_program
@@ -73,7 +74,7 @@ class TestSerializability:
         assert committed > 10, "workload too aborted to be meaningful"
         report = check_serializability(recorder)
         report.raise_if_failed()
-        recorder.assert_replica_agreement(cluster.replica_counts())
+        replica_agreement(recorder, cluster.replica_counts()).raise_if_failed()
 
     @pytest.mark.parametrize("seed", [11, 22, 33])
     def test_wan1_with_reordering_is_serializable(self, seed):

@@ -46,6 +46,7 @@ from repro.reconfig.messages import (
     InstallMigration,
     StaleEpochNotice,
 )
+from repro.termination.messages import VoteRecord
 
 TID = TxnId("c9", 42)
 PROJ = TxnProjection(
@@ -112,6 +113,9 @@ SAMPLES = [
     ),
     ThresholdChange(value=16),
     Vote(tid=TID, partition="p1", vote="abort"),
+    # Vote ledger (docs/PROTOCOL.md §14): own verdict and relayed flavor.
+    VoteRecord(tid=TID, partition="p0", vote="commit", involved=("p0", "p1")),
+    VoteRecord(tid=TID, partition="p1", vote="abort"),
     CommitGossip(
         partition="p0",
         sc=9,
@@ -156,6 +160,7 @@ def test_every_registered_message_has_a_sample():
         "repro.core.messages",
         "repro.reconfig.epochs",
         "repro.reconfig.messages",
+        "repro.termination.messages",
     )
     covered = {type(m).__name__ for m in SAMPLES}
     registered = {

@@ -17,6 +17,7 @@ Shrinking over this space has already caught two real protocol races
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
+from repro.checker.agreement import replica_agreement
 from repro.checker.serializability import check_serializability
 from repro.core.config import DelayMode, SdurConfig
 from repro.core.partitioning import PartitionMap
@@ -38,13 +39,15 @@ config_strategy = st.fixed_dictionaries(
 )
 
 
-def run_system(params, num_txns=30):
+def run_system(params, num_txns=30, termination=None):
     num_partitions = 2 if params["wan"] else params["num_partitions"]
     config = SdurConfig(
         reorder_threshold=params["reorder_threshold"],
         delay_mode=DelayMode.FIXED if params["delay_fixed"] else DelayMode.OFF,
         delay_fixed=params["delay_fixed"],
     )
+    if termination is not None:
+        config = config.with_termination(termination)
     if params["wan"]:
         cluster = build_cluster(
             wan1_deployment(2),
@@ -116,7 +119,7 @@ class TestSystemInvariants:
         cluster, recorder, done = run_system(params)
         assert len(done) >= 30, "workload did not complete"
         check_serializability(recorder).raise_if_failed()
-        recorder.assert_replica_agreement(cluster.replica_counts())
+        replica_agreement(recorder, cluster.replica_counts()).raise_if_failed()
 
     @settings(max_examples=6, deadline=None, suppress_health_check=[HealthCheck.too_slow])
     @given(seed=st.integers(0, 2**16))

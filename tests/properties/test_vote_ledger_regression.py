@@ -1,0 +1,93 @@
+"""Deterministic regressions for vote-ledger termination (PROTOCOL.md §14).
+
+Both examples below were found by hypothesis shrinking over the
+end-to-end property space (tests/properties/test_prop_end_to_end.py) and
+are promoted here as fixed, always-run regressions:
+
+* **Reorder divergence** — WAN 1, reorder threshold 4, seed 13411: under
+  optimistic (arrival-time) termination, two replicas of the same
+  partition commit a pair of concurrent globals in opposite orders
+  (swapped versions), because a vote arriving between one replica's
+  reorder decision and the other's leaks timing into commit order.
+* **Deferral deadlock** — WAN 1, reorder threshold 0, seed 2: a
+  cross-partition deferral cycle where each partition waits for the
+  other's vote forever; the run completes 0 of 30 transactions.
+
+The ledger (the default termination mode) fixes both: votes take effect
+only at their delivery position in the receiving partition's own log,
+and abort requests break deferral cycles deterministically (the cycle's
+minimal transaction id aborts).  The guard tests pin that the optimistic
+baseline still exhibits each failure — if one starts passing, the
+example no longer discriminates and should be re-shrunk.
+"""
+
+from repro.checker.agreement import replica_agreement
+from repro.checker.serializability import check_serializability
+from repro.core.config import TerminationMode
+from tests.properties.test_prop_end_to_end import run_system
+
+#: Falsifying example for the reorder-divergence manifestation.
+REORDER_EXAMPLE = dict(
+    num_partitions=2,
+    wan=True,
+    reorder_threshold=4,
+    keyspace=6,
+    global_p=0.507,
+    seed=13411,
+    delay_fixed=0.0,
+    bloom=False,
+)
+
+#: Falsifying example for the deferral-deadlock manifestation.
+DEADLOCK_EXAMPLE = dict(
+    num_partitions=2,
+    wan=True,
+    reorder_threshold=0,
+    keyspace=4,
+    global_p=0.55,
+    seed=2,
+    delay_fixed=0.0,
+    bloom=False,
+)
+
+
+def assert_sound(params):
+    cluster, recorder, done = run_system(dict(params))
+    assert len(done) >= 30, f"workload did not complete ({len(done)}/30)"
+    check_serializability(recorder).raise_if_failed()
+    replica_agreement(recorder, cluster.replica_counts()).raise_if_failed()
+
+
+class TestLedgerFixesKnownExamples:
+    """Default config (ledger mode): both examples must be clean."""
+
+    def test_reorder_divergence_example(self):
+        assert_sound(REORDER_EXAMPLE)
+
+    def test_deferral_deadlock_example(self):
+        assert_sound(DEADLOCK_EXAMPLE)
+
+
+class TestOptimisticStillFails:
+    """The baseline keeps the bugs — the examples stay discriminating."""
+
+    def test_reorder_example_diverges_under_optimistic(self):
+        cluster, recorder, done = run_system(
+            dict(REORDER_EXAMPLE), termination=TerminationMode.OPTIMISTIC
+        )
+        assert len(done) >= 30
+        report = replica_agreement(recorder, cluster.replica_counts())
+        assert not report.ok, (
+            "optimistic mode no longer diverges on the shrunk example; "
+            "re-shrink or retire the regression"
+        )
+        assert any("divergence" in issue for issue in report.issues)
+
+    def test_deadlock_example_stalls_under_optimistic(self):
+        _, _, done = run_system(
+            dict(DEADLOCK_EXAMPLE), termination=TerminationMode.OPTIMISTIC
+        )
+        assert len(done) < 30, (
+            "optimistic mode no longer deadlocks on the shrunk example; "
+            "re-shrink or retire the regression"
+        )
