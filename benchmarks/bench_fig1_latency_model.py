@@ -5,11 +5,18 @@ from repro.experiments import fig1_model
 
 def test_t1_latency_model(table_runner):
     table = table_runner(fig1_model.run)
-    by_deployment = {row["deployment"]: row for row in table.rows}
+    by_case = {
+        (row["deployment"], row["termination"]): row for row in table.rows
+    }
     # Exact agreements the simulator must reproduce (small tolerance for
-    # the loopback hand-off delay).
-    wan1 = by_deployment["wan1"]
-    assert abs(wan1["measured_local_ms"] - wan1["local_commit_ms"]) < 0.5
-    assert abs(wan1["measured_global_ms"] - wan1["global_commit_ms"]) < 0.5
-    wan2 = by_deployment["wan2"]
-    assert abs(wan2["measured_local_ms"] - wan2["local_commit_ms"]) < 0.5
+    # the loopback hand-off delay), per termination mode.
+    for mode in ("optimistic", "ledger"):
+        wan1 = by_case[("wan1", mode)]
+        assert abs(wan1["measured_local_ms"] - wan1["local_commit_ms"]) < 0.5
+        assert abs(wan1["measured_global_ms"] - wan1["global_commit_ms"]) < 0.5
+        wan2 = by_case[("wan2", mode)]
+        assert abs(wan2["measured_local_ms"] - wan2["local_commit_ms"]) < 0.5
+    # Figure 1's exact cases carry exact attributions.
+    wan1_opt = by_case[("wan1", "optimistic")]
+    assert wan1_opt["local_attribution"].startswith("4δ = ")
+    assert wan1_opt["global_attribution"].startswith("4δ+2Δ = ")

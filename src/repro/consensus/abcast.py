@@ -14,6 +14,7 @@ from typing import Any
 from repro.consensus.messages import ClientPropose
 from repro.consensus.replica import PaxosReplica
 from repro.errors import ConfigurationError
+from repro.obs.recorder import NULL_RECORDER
 from repro.runtime.base import Runtime
 
 
@@ -36,6 +37,7 @@ class AbcastFabric:
                     f"coordinator hint {hint!r} not in group of partition {partition!r}"
                 )
         self.runtime = runtime
+        self._obs = getattr(runtime, "obs", NULL_RECORDER)
         self.groups = {partition: list(members) for partition, members in groups.items()}
         self.coordinator_hints = dict(coordinator_hints)
         self.local_replicas = dict(local_replicas or {})
@@ -99,6 +101,16 @@ class AbcastFabric:
 
     def abcast(self, partition: str, value: Any) -> None:
         """Atomically broadcast ``value`` within ``partition``'s group."""
+        if self._obs.enabled:
+            tid = getattr(value, "tid", None)
+            if tid is not None:
+                self._obs.event(
+                    "abcast.propose",
+                    self.runtime.node_id,
+                    tid,
+                    partition=partition,
+                    value=type(value).__name__,
+                )
         self.proposed[partition] = self.proposed.get(partition, 0) + 1
         replica = self.local_replicas.get(partition)
         if replica is not None:

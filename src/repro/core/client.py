@@ -41,6 +41,7 @@ from repro.core.messages import (
 from repro.core.partitioning import PartitionMap
 from repro.core.transaction import Outcome, ReadsetDigest, TxnId, TxnProjection
 from repro.errors import ProtocolError
+from repro.obs.recorder import NULL_RECORDER
 from repro.reconfig.epochs import VersionedRouting
 from repro.reconfig.messages import ConfigSnapshot, GetConfig, StaleEpochNotice
 from repro.runtime.base import Runtime
@@ -225,6 +226,7 @@ class SdurClient:
         routing: VersionedRouting | None = None,
     ) -> None:
         self.runtime = runtime
+        self._obs = getattr(runtime, "obs", NULL_RECORDER)
         #: Epoch-versioned view of the directory; ``routing`` supersedes
         #: the plain ``directory``/``partition_map`` arguments.
         self.routing = routing or VersionedRouting(directory, partition_map)
@@ -286,6 +288,14 @@ class SdurClient:
         return tid
 
     def _launch(self, state: _ActiveTxn) -> None:
+        if self._obs.enabled:
+            self._obs.event(
+                "client.start",
+                self.node_id,
+                state.tid,
+                label=state.label,
+                read_only=state.read_only,
+            )
         needs_vector = (
             state.read_only
             and self.config.readonly_snapshot
@@ -490,6 +500,8 @@ class SdurClient:
             self._restart(state)
             return
         state.last_commit_target = target
+        if self._obs.enabled:
+            self._obs.event("client.commit", self.node_id, state.tid, target=target)
         self.runtime.send(target, request)
         if self.config.commit_timeout is not None:
             self._arm_commit_retry(state, request)
@@ -643,6 +655,10 @@ class SdurClient:
         self, state: _ActiveTxn, outcome: Outcome, abort_reason: str | None = None
     ) -> None:
         self._active.pop(state.tid, None)
+        if self._obs.enabled:
+            self._obs.event(
+                "client.done", self.node_id, state.tid, outcome=outcome.value
+            )
         state.failed = abort_reason or (None if outcome is Outcome.COMMIT else "aborted")
         keys = state.rs_keys | set(state.ws)
         partitions = self.partition_map.partitions_of(keys) if keys else ()

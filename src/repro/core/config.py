@@ -123,6 +123,12 @@ class SdurConfig:
     #: client.  Costlier but robust to coordinator crashes.
     notify_all_replicas: bool = False
 
+    # -- Observability (docs/OBSERVABILITY.md) ----------------------------
+    #: Record a causal event trace per transaction (``repro.obs``).  Off
+    #: by default: the disabled recorder is a shared no-op and the
+    #: instrumentation sites allocate nothing.
+    tracing: bool = False
+
     # -- CPU model -------------------------------------------------------
     costs: ServiceCosts = field(default_factory=ServiceCosts)
 

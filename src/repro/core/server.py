@@ -68,6 +68,7 @@ from repro.core.pending import PendingList, PendingTxn
 from repro.core.snapshots import GlobalSnapshotBuilder
 from repro.core.transaction import Outcome, TxnId, TxnProjection
 from repro.errors import ConfigurationError, ProtocolError, SnapshotTooOldError
+from repro.obs.recorder import NULL_RECORDER
 from repro.reconfig.epochs import VersionedRouting
 from repro.reconfig.messages import (
     BeginSplit,
@@ -143,6 +144,9 @@ class SdurServer:
         routing: VersionedRouting | None = None,
     ) -> None:
         self.runtime = runtime
+        #: Causal-tracing recorder; ``getattr`` so hand-rolled stub
+        #: runtimes in unit tests need not know about repro.obs.
+        self._obs = getattr(runtime, "obs", NULL_RECORDER)
         self.partition = partition
         #: Epoch-versioned view of the directory and key routing.  When a
         #: caller passes ``routing`` it supersedes the static
@@ -391,6 +395,14 @@ class SdurServer:
     def submit(self, request: CommitRequest) -> None:
         """Broadcast each projection to its partition, delaying the local
         broadcast of a global transaction when the technique is enabled."""
+        obs = self._obs
+        if obs.enabled:
+            obs.event(
+                "server.submit",
+                self.node_id,
+                request.tid,
+                partitions=sorted(request.projections),
+            )
         projections = request.projections
         for proj in projections.values():
             if proj.epoch > self.routing.epoch:
@@ -411,6 +423,8 @@ class SdurServer:
             return
         delay = self._local_broadcast_delay(remote) if remote else 0.0
         if delay > 0:
+            if obs.enabled:
+                obs.event("server.delay", self.node_id, request.tid, seconds=delay)
             self.runtime.set_timer(
                 delay, lambda: self.fabric.abcast(self.partition, local_proj)
             )
@@ -518,6 +532,16 @@ class SdurServer:
         tid = proj.tid
         if tid in self._completed or tid in self.pending:
             return  # duplicate delivery (e.g. client retry); ignore
+        obs = self._obs
+        if obs.enabled:
+            obs.event(
+                "server.deliver",
+                self.node_id,
+                tid,
+                partition=self.partition,
+                dc=self.dc,
+                is_global=proj.is_global,
+            )
         if tid in self._aborted_early:
             # An abort-request won the race (§IV-F): never certify.
             del self._aborted_early[tid]
@@ -536,6 +560,15 @@ class SdurServer:
             return
         rt = self.dc + self.reorder_threshold
         verdict = self.window.certify(proj)
+        if obs.enabled:
+            obs.event(
+                "server.certify",
+                self.node_id,
+                tid,
+                verdict=(
+                    "stale" if verdict is None else ("commit" if verdict else "abort")
+                ),
+            )
         if verdict is None:
             self._finish_aborted(proj, self.stats_bucket("stale"))
             self._drain()
@@ -551,10 +584,22 @@ class SdurServer:
         if proj.is_global and self.ledger is not None:
             # Remote votes ledgered before this projection's position.
             for partition, vote in self.ledger.take_early(tid).items():
-                entry.votes.setdefault(partition, vote)
+                if partition not in entry.votes:
+                    entry.votes[partition] = vote
+                    if obs.enabled:
+                        obs.event(
+                            "vote.effect",
+                            self.node_id,
+                            tid,
+                            partition=partition,
+                            vote=vote,
+                            via="ledger",
+                        )
         if deps:
             # Verdict depends on whether the conflicting pending entries
             # commit; defer (append — no reorder leap for deferred txns).
+            if obs.enabled:
+                obs.event("server.defer", self.node_id, tid, deps=len(deps))
             self.stats.deferred += 1
             self.pending.append(entry)
             self._arm_vote_timeout(entry)
@@ -566,10 +611,29 @@ class SdurServer:
                 # Optimistic: the own vote takes effect right here, and
                 # arrival-time buffered votes merge in.
                 entry.votes[self.partition] = Outcome.COMMIT.value
+                if obs.enabled:
+                    obs.event(
+                        "vote.effect",
+                        self.node_id,
+                        tid,
+                        partition=self.partition,
+                        vote=Outcome.COMMIT.value,
+                        via="own",
+                    )
                 buffered = self._vote_buffer.pop(tid, None)
                 if buffered:
                     for partition, vote in buffered.items():
-                        entry.votes.setdefault(partition, vote)
+                        if partition not in entry.votes:
+                            entry.votes[partition] = vote
+                            if obs.enabled:
+                                obs.event(
+                                    "vote.effect",
+                                    self.node_id,
+                                    tid,
+                                    partition=partition,
+                                    vote=vote,
+                                    via="buffer",
+                                )
             self.pending.append(entry)
             # Ledger mode: _send_votes orders our COMMIT verdict through
             # our own log; it lands in entry.votes at self-delivery.
@@ -584,6 +648,8 @@ class SdurServer:
                 return
             if position < len(self.pending):
                 self.stats.reordered += 1
+                if obs.enabled:
+                    obs.event("server.reorder", self.node_id, tid, position=position)
                 self.runtime.trace("sdur.reorder", tid=str(tid), position=position)
             entry.votes[self.partition] = Outcome.COMMIT.value
             self.pending.insert(position, entry)
@@ -625,12 +691,32 @@ class SdurServer:
         if not entry.proj.is_global:
             entry.votes[self.partition] = Outcome.COMMIT.value
             return
+        obs = self._obs
         if self.ledger is None:
             entry.votes[self.partition] = Outcome.COMMIT.value
+            if obs.enabled:
+                obs.event(
+                    "vote.effect",
+                    self.node_id,
+                    entry.tid,
+                    partition=self.partition,
+                    vote=Outcome.COMMIT.value,
+                    via="own",
+                )
             buffered = self._vote_buffer.pop(entry.tid, None)
             if buffered:
                 for partition, vote in buffered.items():
-                    entry.votes.setdefault(partition, vote)
+                    if partition not in entry.votes:
+                        entry.votes[partition] = vote
+                        if obs.enabled:
+                            obs.event(
+                                "vote.effect",
+                                self.node_id,
+                                entry.tid,
+                                partition=partition,
+                                vote=vote,
+                                via="buffer",
+                            )
         self._send_votes(entry.proj, Outcome.COMMIT)
 
     def stats_bucket(self, kind: str) -> str:
@@ -653,6 +739,13 @@ class SdurServer:
 
     def _finish_aborted(self, proj: TxnProjection, reason: str) -> None:
         """Complete a transaction that failed before entering the pending list."""
+        if self._obs.enabled:
+            self._obs.event(
+                "server.complete",
+                self.node_id,
+                proj.tid,
+                outcome=Outcome.ABORT.value,
+            )
         self._record_completed(proj.tid, Outcome.ABORT)
         if proj.is_global:
             self._send_votes(proj, Outcome.ABORT)
@@ -710,6 +803,8 @@ class SdurServer:
 
     def _emit_vote(self, tid: TxnId, vote: str, involved: tuple[str, ...]) -> None:
         """Send this partition's vote to every other involved partition."""
+        if self._obs.enabled:
+            self._obs.event("vote.emit", self.node_id, tid, vote=vote)
         msg = Vote(tid=tid, partition=self.partition, vote=vote)
         for partition in involved:
             if partition == self.partition:
@@ -723,6 +818,16 @@ class SdurServer:
                 self.runtime.send(server, msg)
 
     def _on_vote(self, src: str, msg: Vote) -> None:
+        obs = self._obs
+        if obs.enabled:
+            obs.event(
+                "vote.arrive",
+                self.node_id,
+                msg.tid,
+                partition=msg.partition,
+                src=src,
+                vote=msg.vote,
+            )
         if self.ledger is not None:
             # Ledger mode: never touch protocol state at arrival time.
             # Re-sequence the remote vote through our own log; it takes
@@ -732,7 +837,17 @@ class SdurServer:
             return
         entry = self.pending.get(msg.tid)
         if entry is not None:
-            entry.votes.setdefault(msg.partition, msg.vote)
+            if msg.partition not in entry.votes:
+                entry.votes[msg.partition] = msg.vote
+                if obs.enabled:
+                    obs.event(
+                        "vote.effect",
+                        self.node_id,
+                        msg.tid,
+                        partition=msg.partition,
+                        vote=msg.vote,
+                        via="arrival",
+                    )
             self._pump()
             return
         if msg.tid in self._completed:
@@ -750,6 +865,15 @@ class SdurServer:
             # proposal (outbox retries race the leader's own proposal).
             return
         self.stats.votes_ordered += 1
+        obs = self._obs
+        if obs.enabled:
+            obs.event(
+                "ledger.deliver",
+                self.node_id,
+                record.tid,
+                partition=record.partition,
+                owner=self.partition,
+            )
         if record.partition == self.partition and record.involved:
             # Our own verdict is now durable in log order: only here does
             # the inter-partition Vote go out (Figure 1's message ⑥,
@@ -757,7 +881,17 @@ class SdurServer:
             self._emit_vote(record.tid, record.vote, record.involved)
         entry = self.pending.get(record.tid)
         if entry is not None:
-            entry.votes.setdefault(record.partition, record.vote)
+            if record.partition not in entry.votes:
+                entry.votes[record.partition] = record.vote
+                if obs.enabled:
+                    obs.event(
+                        "vote.effect",
+                        self.node_id,
+                        record.tid,
+                        partition=record.partition,
+                        vote=record.vote,
+                        via="ledger",
+                    )
             self._drain()
             return
         if record.tid in self._completed or record.tid in self._aborted_early:
@@ -810,6 +944,10 @@ class SdurServer:
             raise ProtocolError(f"completing {entry.tid} which is not the head")
         self.pending.pop_head()
         proj = entry.proj
+        if self._obs.enabled:
+            self._obs.event(
+                "server.complete", self.node_id, proj.tid, outcome=outcome.value
+            )
         if outcome is Outcome.COMMIT:
             version = self.sc + 1
             self.store.apply(proj.writeset, version)
@@ -855,6 +993,10 @@ class SdurServer:
 
     def _notify_client(self, proj: TxnProjection, outcome: Outcome) -> None:
         if proj.client and self._should_notify(proj):
+            if self._obs.enabled:
+                self._obs.event(
+                    "server.notify", self.node_id, proj.tid, outcome=outcome.value
+                )
             self.runtime.send(
                 proj.client,
                 OutcomeNotice(tid=proj.tid, outcome=outcome.value, partition=self.partition),

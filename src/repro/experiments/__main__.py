@@ -7,6 +7,13 @@ Usage::
     python -m repro.experiments F2 F4           # selected experiments
     python -m repro.experiments --list          # show the index
     python -m repro.experiments --markdown out.md   # also write a report
+    python -m repro.experiments T1 --trace      # + Chrome trace export
+
+``--trace`` turns on causal transaction tracing (``repro.obs``) for every
+world the selected experiments build and writes one Chrome trace-event
+file per traced world into the given directory (default ``traces/``) —
+open them in ``chrome://tracing`` or Perfetto.  See
+``docs/OBSERVABILITY.md``.
 
 The markdown report is what ``EXPERIMENTS.md`` is generated from.
 """
@@ -14,6 +21,7 @@ The markdown report is what ``EXPERIMENTS.md`` is generated from.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from collections.abc import Callable
@@ -82,6 +90,27 @@ def to_markdown(tables: list[tuple[ExperimentTable, float]]) -> str:
     return "\n".join(lines)
 
 
+def _export_traces(exp_id: str, directory: str) -> list[str]:
+    """Write one Chrome trace file per world the experiment traced.
+
+    Each world has its own virtual clock, so worlds are exported
+    separately rather than merged into one overlapping timeline.
+    """
+    from repro.obs.chrome import write_chrome_trace
+    from repro.obs.recorder import drain_recorders
+    from repro.obs.spans import build_traces
+
+    paths = []
+    for index, recorder in enumerate(drain_recorders()):
+        traces = build_traces(recorder.events)
+        if not traces:
+            continue
+        path = os.path.join(directory, f"{exp_id}.{index}.trace.json")
+        write_chrome_trace(path, traces)
+        paths.append(path)
+    return paths
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments", description=__doc__
@@ -90,6 +119,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--full", action="store_true", help="paper-scale parameters")
     parser.add_argument("--list", action="store_true", help="list experiments and exit")
     parser.add_argument("--markdown", metavar="PATH", help="write a markdown report")
+    parser.add_argument(
+        "--trace",
+        nargs="?",
+        const="traces",
+        default=None,
+        metavar="DIR",
+        help="record causal traces; write Chrome trace JSON into DIR",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -104,6 +141,13 @@ def main(argv: list[str] | None = None) -> int:
         print(f"known: {', '.join(REGISTRY)}", file=sys.stderr)
         return 2
 
+    if args.trace is not None:
+        from repro.obs.recorder import drain_recorders, set_default_tracing
+
+        os.makedirs(args.trace, exist_ok=True)
+        set_default_tracing(True)
+        drain_recorders()  # discard recorders left over from imports
+
     quick = not args.full
     tables: list[tuple[ExperimentTable, float]] = []
     for exp_id in selected:
@@ -114,6 +158,12 @@ def main(argv: list[str] | None = None) -> int:
         table.print()
         print(f"(wall time: {wall:.0f}s)\n")
         tables.append((table, wall))
+        if args.trace is not None:
+            for path in _export_traces(exp_id.upper(), args.trace):
+                print(f"trace: {path}")
+
+    if args.trace is not None:
+        set_default_tracing(False)
 
     if args.markdown:
         with open(args.markdown, "w") as fh:

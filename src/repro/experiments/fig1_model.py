@@ -1,31 +1,43 @@
-"""T1 — the latency-model table of Figure 1, analytic vs measured.
+"""T1 — the latency-model table of Figure 1, analytic vs measured vs attributed.
 
 For each deployment the paper tabulates the cost of remote reads, local
 termination, global termination, and the fault-tolerance properties.
 This experiment computes the closed forms with the configured δ/Δ and
 measures each quantity with a single unloaded client in a uniform-Δ
-world, so measured numbers can be compared hop-by-hop.
+world, so measured numbers can be compared hop-by-hop.  Both termination
+modes are tabulated: *optimistic* is the figure's arithmetic; the
+default *ledger* mode (docs/PROTOCOL.md §14) adds one local broadcast at
+each end of the vote path (+4δ on WAN 1, +4Δ on WAN 2 for globals).
+
+Every run is traced (``repro.obs``), and the attribution columns
+decompose the measured commit into named per-hop terms — e.g. WAN 1
+global (optimistic) reads ``request δ + order 2δ+Δ + vote Δ + notify δ``
+— with the per-term means telescoping to the measured latency.  See
+docs/OBSERVABILITY.md for how to read them.
 
 Expected agreement (documented in EXPERIMENTS.md): WAN 1 local = 4δ,
 WAN 1 global = 4δ+2Δ, WAN 2 local = 2δ+2Δ exactly; WAN 2 global falls in
 [3δ+2Δ, 3δ+4Δ] depending on the Paxos learning strategy, bracketing the
-paper's 3δ+3Δ: with relay learning the remote coordinator decides at
-2Δ and its vote travels one more Δ (2δ+4Δ total); with broadcast
-learning the co-located replica learns at 2Δ and votes within δ
-(3δ+2Δ).  Measured commit latencies below have the 2δ execution phase
-(the two reads) subtracted so they are directly comparable.
+paper's 3δ+3Δ (Deviation D2 in EXPERIMENTS.md): with relay learning the
+remote coordinator decides at 2Δ and its vote travels one more Δ
+(2δ+4Δ total); with broadcast learning the co-located replica learns at
+2Δ and votes within δ (3δ+2Δ).  Measured commit latencies below have
+the 2δ execution phase (the two reads) subtracted so they are directly
+comparable.
 """
 
 from __future__ import annotations
 
 from repro.consensus.replica import PaxosConfig
-from repro.core.config import SdurConfig
+from repro.core.config import SdurConfig, TerminationMode
 from repro.core.partitioning import PartitionMap
 from repro.experiments.common import ExperimentTable
 from repro.geo.analytical import analytical_latencies
 from repro.geo.deployments import wan1_deployment, wan2_deployment
 from repro.harness.driver import run_experiment
 from repro.net.topology import RegionLatencyModel
+from repro.obs.attribution import AttributionSummary, attribute, summarize
+from repro.obs.recorder import SpanRecorder
 from repro.runtime.sim import SimWorld
 from repro.workload.microbench import MicroBenchmark
 
@@ -33,9 +45,19 @@ from repro.workload.microbench import MicroBenchmark
 DELTA = 0.005
 INTER_DELTA = 0.060
 
+_MODES = {
+    "optimistic": TerminationMode.OPTIMISTIC,
+    "ledger": TerminationMode.LEDGER,
+}
 
-def _measure(deployment_name: str, global_fraction: float, accepted_broadcast: bool) -> float:
-    """Mean commit latency (reads subtracted) of one unloaded client."""
+
+def _measure(
+    deployment_name: str,
+    global_fraction: float,
+    termination: str,
+    accepted_broadcast: bool = False,
+) -> tuple[float, AttributionSummary | None]:
+    """Mean commit latency (reads subtracted) + per-term attribution."""
     deployment = (
         wan1_deployment(2) if deployment_name == "wan1" else wan2_deployment(2)
     )
@@ -43,8 +65,9 @@ def _measure(deployment_name: str, global_fraction: float, accepted_broadcast: b
         topology=deployment.topology,
         latency=RegionLatencyModel.uniform(deployment.topology, DELTA, INTER_DELTA),
         seed=11,
+        obs=SpanRecorder(),
     )
-    cluster_config = SdurConfig()
+    cluster_config = SdurConfig(termination_mode=_MODES[termination], tracing=True)
     from repro.harness.cluster import SdurCluster  # local import to reuse wiring
 
     cluster = SdurCluster(world, deployment, PartitionMap.by_index(2), cluster_config)
@@ -62,36 +85,64 @@ def _measure(deployment_name: str, global_fraction: float, accepted_broadcast: b
     workload = MicroBenchmark(2, 0, global_fraction, items_per_partition=100)
     run = run_experiment(cluster, [(client, workload)], warmup=2.0, measure=20.0)
     mean = run.summary().latency.mean
-    return mean - 2 * DELTA  # strip the execution phase (two parallel reads)
+    summary = summarize(
+        [attribute(t, DELTA, INTER_DELTA) for t in run.collector.traces.values()]
+    )
+    return mean - 2 * DELTA, summary  # strip the execution phase (two reads)
+
+
+def _attr_cell(summary: AttributionSummary | None) -> str:
+    if summary is None:
+        return ""
+    return f"{summary.formula} = {summary.breakdown()}"
 
 
 def run(quick: bool = False) -> ExperimentTable:
     rows = []
+    max_residual = 0.0
     for name in ("wan1", "wan2"):
-        analytic = analytical_latencies(name, DELTA, INTER_DELTA)
-        measured_local = _measure(name, 0.0, accepted_broadcast=False)
-        measured_global = _measure(name, 1.0, accepted_broadcast=False)
-        row = analytic.row()
-        row["measured_local_ms"] = round(measured_local * 1000, 2)
-        row["measured_global_ms"] = round(measured_global * 1000, 2)
-        rows.append(row)
+        for mode in ("optimistic", "ledger"):
+            analytic = analytical_latencies(name, DELTA, INTER_DELTA, termination=mode)
+            measured_local, local_attr = _measure(name, 0.0, mode)
+            measured_global, global_attr = _measure(name, 1.0, mode)
+            row = {"deployment": name, "termination": mode}
+            row.update(
+                {k: v for k, v in analytic.row().items() if k != "deployment"}
+            )
+            row["measured_local_ms"] = round(measured_local * 1000, 2)
+            row["measured_global_ms"] = round(measured_global * 1000, 2)
+            row["local_attribution"] = _attr_cell(local_attr)
+            row["global_attribution"] = _attr_cell(global_attr)
+            rows.append(row)
+            for summary in (local_attr, global_attr):
+                if summary is not None:
+                    max_residual = max(max_residual, summary.max_residual)
         if name == "wan2" and not quick:
-            measured_bcast = _measure(name, 1.0, accepted_broadcast=True)
+            measured_bcast, bcast_attr = _measure(
+                name, 1.0, "optimistic", accepted_broadcast=True
+            )
             rows.append(
                 {
                     "deployment": "wan2 (2B broadcast ablation)",
+                    "termination": "optimistic",
                     "global_commit_ms": round((3 * DELTA + 2 * INTER_DELTA) * 1000, 3),
                     "measured_global_ms": round(measured_bcast * 1000, 2),
+                    "global_attribution": _attr_cell(bcast_attr),
                 }
             )
     return ExperimentTable(
         experiment_id="T1",
-        title="Figure 1 latency model: analytic vs measured (uniform δ/Δ)",
+        title="Figure 1 latency model: analytic vs measured vs attributed",
         rows=rows,
         notes=[
             f"delta={DELTA * 1000:.0f} ms, Delta={INTER_DELTA * 1000:.0f} ms (one-way)",
+            "Attribution columns decompose each traced commit into per-hop "
+            "terms (docs/OBSERVABILITY.md); terms telescope to the measured "
+            f"latency (max residual {max_residual * 1e6:.1f} us).",
             "WAN2 global: paper's 3δ+3Δ is bracketed by relay (2δ+4Δ) and "
-            "broadcast (3δ+2Δ) learning; see EXPERIMENTS.md.",
+            "broadcast (3δ+2Δ) learning — Deviation D2; see EXPERIMENTS.md.",
+            "Ledger termination pays two extra local broadcasts per global "
+            "commit (+4δ WAN1, +4Δ WAN2); docs/PROTOCOL.md §14.4.",
         ],
     )
 

@@ -26,6 +26,7 @@ from repro.core.server import SdurServer
 from repro.errors import ConfigurationError
 from repro.geo.deployments import Deployment
 from repro.net.topology import NodeSpec
+from repro.obs.recorder import ObsRecorder, SpanRecorder
 from repro.reconfig.coordinator import plan_split
 from repro.reconfig.epochs import ConfigChange, VersionedRouting
 from repro.reconfig.messages import BeginSplit
@@ -63,6 +64,11 @@ class SdurCluster:
         self.clients: dict[str, SdurClient] = {}
         self.recorder: HistoryRecorder | None = None
         self._started = False
+
+    @property
+    def obs(self) -> ObsRecorder:
+        """The world's causal-tracing recorder (the no-op one when off)."""
+        return self.world.obs
 
     @property
     def directory(self) -> ClusterDirectory:
@@ -313,6 +319,7 @@ def build_cluster(
             f"partition map has {partition_map.num_partitions} partitions, "
             f"deployment has {len(deployment.partition_ids)}"
         )
+    config = config or SdurConfig()
     world = SimWorld.geo(
         deployment.topology,
         intra_delay=intra_delay,
@@ -320,8 +327,9 @@ def build_cluster(
         seed=seed,
         codec_roundtrip=codec_roundtrip,
         trace=trace,
+        obs=SpanRecorder() if config.tracing else None,
     )
-    cluster = SdurCluster(world, deployment, partition_map, config or SdurConfig())
+    cluster = SdurCluster(world, deployment, partition_map, config)
     for partition in deployment.partition_ids:
         for node_id in deployment.directory.servers_of(partition):
             if paxos_config_factory is not None:

@@ -119,6 +119,9 @@ def run_experiment(
         driver.stop()
     cluster.world.run(until=warmup + measure + drain)
     collector.ingest_server_stats(cluster.server_stats())
+    obs = getattr(cluster.world, "obs", None)
+    if obs is not None and obs.enabled:
+        collector.ingest_obs(obs)
     return ExperimentRun(
         cluster=cluster,
         collector=collector,

@@ -9,9 +9,14 @@ the workload drivers.  Summaries are computed over a measurement window
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
 
 from repro.core.client import TxnResult
 from repro.metrics.stats import LatencySummary, cdf_points
+
+if TYPE_CHECKING:
+    from repro.obs.recorder import ObsRecorder
+    from repro.obs.spans import TxnTrace
 
 
 @dataclass(frozen=True)
@@ -37,6 +42,8 @@ class MetricsCollector:
         #: node -> protocol counters, as reported by the servers at the
         #: end of a run (``SdurServer.stats`` via ``ingest_server_stats``).
         self.server_counters: dict[str, dict[str, int]] = {}
+        #: tid -> span tree, when the run traced (``ingest_obs``).
+        self.traces: dict[Any, TxnTrace] = {}
 
     def record(self, result: TxnResult) -> None:
         self.results.append(result)
@@ -51,6 +58,15 @@ class MetricsCollector:
         for node_id, counters in stats.items():
             merged = self.server_counters.setdefault(node_id, {})
             merged.update(counters)
+
+    def ingest_obs(self, recorder: ObsRecorder) -> None:
+        """Fold a tracing recorder's events into per-transaction traces."""
+        events = getattr(recorder, "events", None)
+        if not events:
+            return
+        from repro.obs.spans import build_traces
+
+        self.traces.update(build_traces(events))
 
     def counter_total(self, name: str) -> int:
         """Sum of one protocol counter across every reporting server."""

@@ -18,6 +18,7 @@ from typing import Any
 
 from repro.errors import TransportError
 from repro.net.message import Message, decode_message, encode_message, message
+from repro.obs.recorder import NULL_RECORDER, ObsRecorder, traced_tid as _traced_tid
 
 _LEN_BYTES = 4
 _MAX_FRAME = 64 * 1024 * 1024
@@ -60,12 +61,14 @@ class AioTransport:
         node_id: str,
         directory: dict[str, tuple[str, int]],
         handler: Callable[[str, Any], None],
+        obs: ObsRecorder | None = None,
     ) -> None:
         if node_id not in directory:
             raise TransportError(f"node {node_id!r} missing from directory")
         self.node_id = node_id
         self.directory = directory
         self.handler = handler
+        self.obs = obs if obs is not None else NULL_RECORDER
         self._server: asyncio.AbstractServer | None = None
         self._writers: dict[str, asyncio.StreamWriter] = {}
         self._send_locks: dict[str, asyncio.Lock] = {}
@@ -92,6 +95,16 @@ class AioTransport:
                 envelope = decode_message(frame)
                 if not isinstance(envelope, Envelope):
                     raise TransportError(f"expected Envelope, got {type(envelope).__name__}")
+                if self.obs.enabled:
+                    tid = _traced_tid(envelope.payload)
+                    if tid is not None:
+                        self.obs.event(
+                            "net.recv",
+                            self.node_id,
+                            tid,
+                            src=envelope.src,
+                            msg=type(envelope.payload).__name__,
+                        )
                 self.handler(envelope.src, envelope.payload)
         finally:
             writer.close()
@@ -100,6 +113,12 @@ class AioTransport:
         """Send ``msg`` to ``dst``; drops silently on connection failure."""
         if self._closed:
             return
+        if self.obs.enabled:
+            tid = _traced_tid(msg)
+            if tid is not None:
+                self.obs.event(
+                    "net.send", self.node_id, tid, dst=dst, msg=type(msg).__name__
+                )
         frame = _frame(encode_message(Envelope(src=self.node_id, payload=msg)))
         lock = self._send_locks.setdefault(dst, asyncio.Lock())
         async with lock:

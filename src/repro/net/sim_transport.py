@@ -24,6 +24,7 @@ from typing import Any
 
 from repro.errors import UnknownNodeError
 from repro.net.message import decode_message, encode_message
+from repro.obs.recorder import NULL_RECORDER, ObsRecorder, traced_tid as _traced_tid
 from repro.sim.kernel import Kernel
 from repro.sim.latency import LatencyModel
 from repro.sim.rng import RngRegistry
@@ -45,6 +46,7 @@ class SimNetwork:
         loss_probability: float = 0.0,
         tracer: Tracer | None = None,
         strict: bool = True,
+        obs: ObsRecorder | None = None,
     ) -> None:
         if not 0.0 <= loss_probability < 1.0:
             raise ValueError(f"loss_probability must be in [0, 1), got {loss_probability!r}")
@@ -57,6 +59,9 @@ class SimNetwork:
         #: network drops traffic to departed processes.
         self.strict = strict
         self.tracer = tracer or NULL_TRACER
+        self.obs = obs if obs is not None else NULL_RECORDER
+        #: Monotonic id pairing a traced send with its delivery.
+        self._hop = 0
         self._rng = rng.stream("net.latency")
         self._loss_rng = rng.stream("net.loss")
         self._handlers: dict[str, Handler] = {}
@@ -126,7 +131,26 @@ class SimNetwork:
             self.bytes_sent += len(wire)
             payload = decode_message(wire)
         delay = self.latency.sample(src, dst, self._rng)
+        # Traced sends take a separate scheduling path so the disabled
+        # case costs exactly one extra branch (and zero allocations).
+        if self.obs.enabled:
+            tid = _traced_tid(msg)
+            if tid is not None:
+                self._hop += 1
+                hop = self._hop
+                name = type(msg).__name__
+                self.obs.event("net.send", src, tid, dst=dst, msg=name, hop=hop)
+                self.kernel.schedule(
+                    delay, self._deliver_traced, src, dst, payload, tid, name, hop
+                )
+                return
         self.kernel.schedule(delay, self._deliver, src, dst, payload)
+
+    def _deliver_traced(
+        self, src: str, dst: str, msg: Any, tid: Any, name: str, hop: int
+    ) -> None:
+        self.obs.event("net.recv", dst, tid, src=src, msg=name, hop=hop)
+        self._deliver(src, dst, msg)
 
     def _deliver(self, src: str, dst: str, msg: Any) -> None:
         if dst in self._crashed:

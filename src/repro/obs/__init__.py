@@ -1,0 +1,70 @@
+"""Causal transaction tracing and latency attribution (``repro.obs``).
+
+The observability subsystem records a span tree per transaction —
+execution, atomic-broadcast propose→deliver per partition, vote-ledger
+sequencing, inter-partition vote relays, certification and
+reorder/delay decisions, completion and client notification — and turns
+it into three artifacts:
+
+* a **Chrome trace-event export** (:mod:`repro.obs.chrome`) loadable in
+  ``chrome://tracing`` / Perfetto,
+* an **ASCII per-transaction timeline** (:mod:`repro.obs.timeline`),
+* a **latency-attribution report** (:mod:`repro.obs.attribution`) that
+  decomposes each measured commit into the analytic model's δ/Δ/ledger
+  terms, exactly telescoping to the measured value.
+
+Tracing is off by default and near-free when off: every runtime carries
+the no-op :data:`NULL_RECORDER` and instrumentation sites allocate
+nothing unless a :class:`SpanRecorder` is installed.  Enable it per
+cluster with ``SdurConfig(tracing=True)``, per world with
+``SimWorld(..., obs=SpanRecorder())``, or globally with
+``python -m repro.experiments --trace``.  See ``docs/OBSERVABILITY.md``.
+"""
+
+from repro.obs.attribution import (
+    Attribution,
+    AttributionSummary,
+    Term,
+    attribute,
+    hops_str,
+    match_hops,
+    summarize,
+)
+from repro.obs.chrome import chrome_trace_events, chrome_trace_json, write_chrome_trace
+from repro.obs.recorder import (
+    NULL_RECORDER,
+    ObsEvent,
+    ObsRecorder,
+    SpanRecorder,
+    default_tracing,
+    drain_recorders,
+    register_recorder,
+    set_default_tracing,
+)
+from repro.obs.spans import Span, TxnTrace, build_traces
+from repro.obs.timeline import render_timeline
+
+__all__ = [
+    "Attribution",
+    "AttributionSummary",
+    "NULL_RECORDER",
+    "ObsEvent",
+    "ObsRecorder",
+    "Span",
+    "SpanRecorder",
+    "Term",
+    "TxnTrace",
+    "attribute",
+    "build_traces",
+    "chrome_trace_events",
+    "chrome_trace_json",
+    "default_tracing",
+    "drain_recorders",
+    "hops_str",
+    "match_hops",
+    "register_recorder",
+    "render_timeline",
+    "set_default_tracing",
+    "summarize",
+    "write_chrome_trace",
+]

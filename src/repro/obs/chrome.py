@@ -1,0 +1,109 @@
+"""Chrome trace-event export (``chrome://tracing`` / Perfetto).
+
+Emits the JSON Object Format: a ``traceEvents`` array of *complete*
+(``ph: "X"``) events for spans, *instant* (``ph: "i"``) events for point
+milestones, and metadata events naming each node.  Nodes map to
+processes (pid) and transactions to threads (tid), so Perfetto renders
+one swim-lane per node with a row per in-flight transaction — zoom into
+a commit and the propose→deliver, vote-relay, and ledger intervals line
+up against the raw network hops.
+
+Timestamps are microseconds of simulated (or wall) time; events are
+sorted so ``ts`` is monotonically non-decreasing across the file.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, TextIO
+
+from repro.obs.spans import TxnTrace
+
+#: Point-milestone event kinds exported as instant markers.
+_INSTANT_KINDS = frozenset(
+    {
+        "server.certify",
+        "server.defer",
+        "server.reorder",
+        "server.delay",
+        "vote.effect",
+        "server.notify",
+        "client.start",
+        "client.commit",
+        "client.done",
+    }
+)
+
+
+def _us(seconds: float) -> int:
+    return int(round(seconds * 1_000_000))
+
+
+def chrome_trace_events(traces: dict[Any, TxnTrace]) -> list[dict[str, Any]]:
+    """The ``traceEvents`` list for ``traces`` (sorted, ready to dump)."""
+    nodes = sorted(
+        {span.node for trace in traces.values() for span in trace.spans}
+        | {event.node for trace in traces.values() for event in trace.events}
+    )
+    pid_of = {node: index for index, node in enumerate(nodes)}
+    metadata: list[dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": node},
+        }
+        for node, pid in pid_of.items()
+    ]
+
+    body: list[dict[str, Any]] = []
+    ordered = sorted(traces.values(), key=lambda t: (t.start, str(t.tid)))
+    for lane, trace in enumerate(ordered, start=1):
+        txn = str(trace.tid)
+        for span in trace.spans:
+            body.append(
+                {
+                    "name": span.name,
+                    "cat": "sdur",
+                    "ph": "X",
+                    "ts": _us(span.start),
+                    "dur": max(0, _us(span.end) - _us(span.start)),
+                    "pid": pid_of[span.node],
+                    "tid": lane,
+                    "args": {"txn": txn, **span.attrs},
+                }
+            )
+        for event in trace.events:
+            if event.kind not in _INSTANT_KINDS:
+                continue
+            body.append(
+                {
+                    "name": event.kind,
+                    "cat": "sdur",
+                    "ph": "i",
+                    "s": "t",
+                    "ts": _us(event.time),
+                    "pid": pid_of[event.node],
+                    "tid": lane,
+                    "args": {"txn": txn, **event.attrs},
+                }
+            )
+    body.sort(key=lambda e: e["ts"])
+    return metadata + body
+
+
+def chrome_trace_json(traces: dict[Any, TxnTrace]) -> str:
+    return json.dumps(
+        {"traceEvents": chrome_trace_events(traces), "displayTimeUnit": "ms"}
+    )
+
+
+def write_chrome_trace(path_or_file: str | TextIO, traces: dict[Any, TxnTrace]) -> None:
+    """Write a trace file loadable in chrome://tracing or ui.perfetto.dev."""
+    payload = chrome_trace_json(traces)
+    if hasattr(path_or_file, "write"):
+        path_or_file.write(payload)  # type: ignore[union-attr]
+    else:
+        with open(path_or_file, "w") as fh:
+            fh.write(payload)

@@ -14,11 +14,18 @@ from __future__ import annotations
 
 import asyncio
 import random
+import time
 from collections.abc import Callable
 from typing import Any
 
 from repro.errors import ConfigurationError
 from repro.net.asyncio_transport import AioTransport
+from repro.obs.recorder import (
+    NULL_RECORDER,
+    ObsRecorder,
+    default_tracing,
+    register_recorder,
+)
 from repro.runtime.base import Runtime, TimerHandle
 from repro.sim.rng import RngRegistry
 
@@ -26,9 +33,20 @@ from repro.sim.rng import RngRegistry
 class AioWorld:
     """Directory and shared state for an asyncio deployment."""
 
-    def __init__(self, directory: dict[str, tuple[str, int]], seed: int = 0) -> None:
+    def __init__(
+        self,
+        directory: dict[str, tuple[str, int]],
+        seed: int = 0,
+        obs: ObsRecorder | None = None,
+    ) -> None:
         self.directory = dict(directory)
         self.rng = RngRegistry(seed)
+        self.obs: ObsRecorder = obs if obs is not None else NULL_RECORDER
+        if self.obs.enabled:
+            # Wall-clock tracing (the asyncio loop's clock is monotonic).
+            self.obs.bind_clock(time.monotonic)
+            if default_tracing():
+                register_recorder(self.obs)
         self._runtimes: dict[str, AioNodeRuntime] = {}
         #: Optional static one-way delay estimates for the delaying technique.
         self.delay_estimates: dict[tuple[str, str], float] = {}
@@ -66,6 +84,7 @@ class AioNodeRuntime(Runtime):
     def __init__(self, world: AioWorld, node_id: str) -> None:
         self.world = world
         self.node_id = node_id
+        self.obs = world.obs
         self._handler: Callable[[str, Any], None] | None = None
         self._transport: AioTransport | None = None
         self._send_tasks: set[asyncio.Task] = set()
@@ -74,7 +93,9 @@ class AioNodeRuntime(Runtime):
         """Bind the TCP endpoint; requires :meth:`listen` to have been called."""
         if self._handler is None:
             raise ConfigurationError(f"{self.node_id}: listen() must be called before start()")
-        self._transport = AioTransport(self.node_id, self.world.directory, self._handler)
+        self._transport = AioTransport(
+            self.node_id, self.world.directory, self._handler, obs=self.obs
+        )
         await self._transport.start()
 
     async def close(self) -> None:

@@ -7,6 +7,8 @@ from abc import ABC, abstractmethod
 from collections.abc import Callable
 from typing import Any, Protocol
 
+from repro.obs.recorder import NULL_RECORDER, ObsRecorder
+
 
 class TimerHandle(Protocol):
     """Cancellable handle returned by :meth:`Runtime.set_timer`."""
@@ -24,6 +26,12 @@ class Runtime(ABC):
 
     #: The node this runtime is bound to.
     node_id: str
+
+    #: Causal-tracing recorder (repro.obs).  The class-level default is
+    #: the shared no-op recorder, so protocol cores can guard
+    #: instrumentation with ``if self.runtime.obs.enabled`` against any
+    #: runtime; worlds built with tracing enabled override it per node.
+    obs: ObsRecorder = NULL_RECORDER
 
     @abstractmethod
     def now(self) -> float:

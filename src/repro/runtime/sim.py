@@ -15,6 +15,13 @@ from typing import Any
 from repro.errors import ConfigurationError
 from repro.net.sim_transport import SimNetwork
 from repro.net.topology import DEFAULT_INTRA_REGION_DELAY, RegionLatencyModel, Topology
+from repro.obs.recorder import (
+    NULL_RECORDER,
+    ObsRecorder,
+    SpanRecorder,
+    default_tracing,
+    register_recorder,
+)
 from repro.runtime.base import Runtime, TimerHandle
 from repro.sim.kernel import Kernel, ScheduledEvent
 from repro.sim.latency import ConstantLatency, LatencyModel
@@ -34,6 +41,7 @@ class SimWorld:
         codec_roundtrip: bool = False,
         loss_probability: float = 0.0,
         trace: bool = False,
+        obs: ObsRecorder | None = None,
     ) -> None:
         self.kernel = Kernel()
         self.topology = topology if topology is not None else Topology()
@@ -42,6 +50,15 @@ class SimWorld:
         self.latency = latency
         self.rng = RngRegistry(seed)
         self.tracer = Tracer(enabled=trace, clock=lambda: self.kernel.now)
+        # Causal tracing (repro.obs): a recorder can be passed in, or one
+        # is created when the process-wide default is on (--trace).
+        if obs is None and default_tracing():
+            obs = SpanRecorder()
+        self.obs: ObsRecorder = obs if obs is not None else NULL_RECORDER
+        if self.obs.enabled:
+            self.obs.bind_clock(lambda: self.kernel.now)
+            if default_tracing():
+                register_recorder(self.obs)  # the CLI exports these
         self.network = SimNetwork(
             self.kernel,
             latency,
@@ -49,6 +66,7 @@ class SimWorld:
             codec_roundtrip=codec_roundtrip,
             loss_probability=loss_probability,
             tracer=self.tracer,
+            obs=self.obs,
             # Worlds model real deployments: traffic to departed nodes
             # (e.g. clients of a previous incarnation during WAL
             # recovery) is dropped, not an error.
@@ -111,6 +129,7 @@ class SimNodeRuntime(Runtime):
             raise ConfigurationError(f"node {node_id!r} not in topology")
         self.world = world
         self.node_id = node_id
+        self.obs = world.obs
         self._cpu = ServiceStation(world.kernel, name=f"{node_id}.cpu")
         self._crashed = False
         self._timers: list[ScheduledEvent] = []

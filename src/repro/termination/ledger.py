@@ -31,6 +31,7 @@ from collections import OrderedDict
 from collections.abc import Callable
 
 from repro.core.transaction import TxnId
+from repro.obs.recorder import NULL_RECORDER
 from repro.runtime.base import Runtime
 from repro.termination.messages import VoteRecord
 
@@ -47,6 +48,7 @@ class VoteLedger:
         limit: int = 200_000,
     ) -> None:
         self.runtime = runtime
+        self._obs = getattr(runtime, "obs", NULL_RECORDER)
         self.partition = partition
         self._abcast = abcast
         self.retry_interval = retry_interval
@@ -77,6 +79,15 @@ class VoteLedger:
         key = (tid, partition)
         if key in self._applied or key in self._outbox:
             return
+        if self._obs.enabled:
+            self._obs.event(
+                "ledger.propose",
+                self.runtime.node_id,
+                tid,
+                partition=partition,
+                owner=self.partition,
+                vote=vote,
+            )
         record = VoteRecord(tid=tid, partition=partition, vote=vote, involved=involved)
         self._outbox[key] = record
         if self.is_leader():

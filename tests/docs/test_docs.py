@@ -1,0 +1,63 @@
+"""Docs stay honest: links resolve, experiment IDs exist, counters documented.
+
+These run in the CI ``docs`` job (see ``.github/workflows/ci.yml``) so a
+rename or a deleted section fails the build instead of silently leaving
+README.md pointing at nothing.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[2]
+
+DOC_FILES = sorted(
+    [REPO / "README.md", REPO / "EXPERIMENTS.md", *(REPO / "docs").glob("*.md")]
+)
+
+# [text](target) — target up to the first whitespace or closing paren.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+EXPERIMENT_RE = re.compile(r"python -m repro\.experiments ([A-Z]\d+)")
+
+
+def _doc_links(doc: Path) -> list[str]:
+    return LINK_RE.findall(doc.read_text())
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=lambda p: p.name)
+def test_intra_repo_links_resolve(doc):
+    broken = []
+    for target in _doc_links(doc):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        path = target.split("#", 1)[0]
+        if not path:
+            continue
+        if not (doc.parent / path).exists():
+            broken.append(target)
+    assert not broken, f"{doc.name}: broken links {broken}"
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=lambda p: p.name)
+def test_documented_experiment_ids_are_registered(doc):
+    from repro.experiments.__main__ import REGISTRY
+
+    cited = set(EXPERIMENT_RE.findall(doc.read_text()))
+    unknown = cited - set(REGISTRY)
+    assert not unknown, f"{doc.name} cites unregistered experiments {unknown}"
+
+
+def test_every_server_counter_is_documented_in_protocol_md():
+    """docs/PROTOCOL.md §14 must list every counter server_stats() exports."""
+    from tests.conftest import make_cluster
+
+    cluster = make_cluster(1)
+    cluster.start()
+    cluster.world.run_for(0.5)
+    stats = cluster.server_stats()
+    counters = {name for node_stats in stats.values() for name in node_stats}
+    assert counters, "server_stats() exported nothing"
+    protocol = (REPO / "docs" / "PROTOCOL.md").read_text()
+    missing = {name for name in counters if f"`{name}`" not in protocol}
+    assert not missing, f"counters absent from docs/PROTOCOL.md: {sorted(missing)}"

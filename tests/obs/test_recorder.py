@@ -1,0 +1,110 @@
+"""Recorder semantics: capture, duck-typed tid extraction, global default."""
+
+from dataclasses import dataclass
+
+from repro.core.config import SdurConfig
+from repro.obs.recorder import (
+    NULL_RECORDER,
+    SpanRecorder,
+    default_tracing,
+    drain_recorders,
+    set_default_tracing,
+    traced_tid,
+)
+from repro.obs.spans import build_traces
+from repro.runtime.sim import SimWorld
+from tests.conftest import make_cluster, run_txn, update_program
+
+
+class TestSpanRecorder:
+    def test_records_clock_sequence_and_attrs(self):
+        now = [0.0]
+        recorder = SpanRecorder(clock=lambda: now[0])
+        recorder.event("client.start", "c1", "t1", label="x")
+        now[0] = 2.5
+        recorder.event("client.done", "c1", "t1", outcome="commit")
+        assert len(recorder) == 2
+        first, second = recorder.events
+        assert (first.time, first.kind, first.node, first.tid) == (
+            0.0,
+            "client.start",
+            "c1",
+            "t1",
+        )
+        assert first.attrs == {"label": "x"}
+        assert second.time == 2.5
+        assert second.seq > first.seq
+
+    def test_null_recorder_is_disabled_and_inert(self):
+        assert not NULL_RECORDER.enabled
+        NULL_RECORDER.event("anything", "n", "t", foo=1)  # no-op, no error
+        NULL_RECORDER.bind_clock(lambda: 1.0)
+
+
+class TestTracedTid:
+    def test_direct_tid(self):
+        @dataclass
+        class Msg:
+            tid: str
+
+        assert traced_tid(Msg(tid="t9")) == "t9"
+
+    def test_wrapped_value_tid(self):
+        @dataclass
+        class Inner:
+            tid: str
+
+        @dataclass
+        class Wrapper:
+            value: Inner
+
+        assert traced_tid(Wrapper(value=Inner(tid="t3"))) == "t3"
+
+    def test_untraced_message(self):
+        assert traced_tid(object()) is None
+
+
+class TestDefaultTracing:
+    def test_worlds_pick_up_the_global_default(self):
+        assert not default_tracing()
+        set_default_tracing(True)
+        try:
+            world = SimWorld(seed=1)
+            assert world.obs.enabled
+            assert world.obs in drain_recorders()
+        finally:
+            set_default_tracing(False)
+        assert not SimWorld(seed=1).obs.enabled
+
+    def test_explicit_recorder_wins_over_default(self):
+        recorder = SpanRecorder()
+        world = SimWorld(seed=1, obs=recorder)
+        assert world.obs is recorder
+
+
+class TestConfigFlag:
+    def test_cluster_tracing_flag_wires_a_recorder(self):
+        cluster = make_cluster(2, config=SdurConfig(tracing=True))
+        assert cluster.obs.enabled
+        client = cluster.add_client()
+        cluster.start()
+        cluster.world.run_for(0.5)
+        result = run_txn(cluster, client, update_program(["0/a", "1/b"]))
+        assert result.committed
+        traces = build_traces(cluster.obs.events)
+        assert result.tid in traces
+        kinds = {event.kind for event in traces[result.tid].events}
+        assert {
+            "client.start",
+            "client.commit",
+            "server.submit",
+            "server.deliver",
+            "server.certify",
+            "server.complete",
+            "server.notify",
+            "client.done",
+        } <= kinds
+
+    def test_tracing_off_by_default(self):
+        cluster = make_cluster(1)
+        assert not cluster.obs.enabled
