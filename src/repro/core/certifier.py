@@ -34,6 +34,8 @@ from __future__ import annotations
 from bisect import bisect_right
 from collections import deque
 from dataclasses import dataclass
+from itertools import islice
+from typing import Iterator, Protocol
 
 from repro.core.pending import PendingList
 from repro.core.transaction import ReadsetDigest, TxnId, TxnProjection
@@ -64,6 +66,14 @@ def ctest(txn: TxnProjection, other_readset: ReadsetDigest, other_ws_keys: froze
     return True
 
 
+class WindowListener(Protocol):
+    """Observes window mutations (the key-conflict index mirrors them)."""
+
+    def record_added(self, record: CommittedRecord) -> None: ...
+
+    def record_evicted(self, record: CommittedRecord) -> None: ...
+
+
 class CertificationWindow:
     """Sliding window of committed records, ordered by commit version."""
 
@@ -76,6 +86,8 @@ class CertificationWindow:
         #: Snapshots at or below the floor can no longer be certified
         #: (non-zero when restored from a checkpoint).
         self._floor = floor
+        #: Mutation observer (``repro.core.certindex`` attaches here).
+        self.listener: WindowListener | None = None
 
     @property
     def floor(self) -> int:
@@ -92,20 +104,30 @@ class CertificationWindow:
             )
         self._records.append(record)
         self._versions.append(record.version)
+        evicted = None
         if len(self._records) > self.capacity:
             evicted = self._records.popleft()
             del self._versions[0]
             self._floor = evicted.version
+        if self.listener is not None:
+            self.listener.record_added(record)
+            if evicted is not None:
+                self.listener.record_evicted(evicted)
 
-    def records_after(self, snapshot: int) -> list[CommittedRecord]:
-        """Committed records with ``version > snapshot`` (oldest first)."""
+    def records_after(self, snapshot: int) -> Iterator[CommittedRecord]:
+        """Committed records with ``version > snapshot`` (oldest first).
+
+        Returns an iterator: ``deque`` indexing is O(k) per access, so
+        ``islice`` keeps the traversal linear instead of quadratic.
+        """
         start = bisect_right(self._versions, snapshot)
         if start == 0:
-            return list(self._records)
-        out = []
-        for index in range(start, len(self._versions)):
-            out.append(self._records[index])
-        return out
+            return iter(self._records)
+        return islice(self._records, start, None)
+
+    def span_after(self, snapshot: int) -> int:
+        """How many committed records a scan from ``snapshot`` must check."""
+        return len(self._versions) - bisect_right(self._versions, snapshot)
 
     def certify(self, txn: TxnProjection) -> bool | None:
         """Check ``txn`` against every commit it did not observe.

@@ -9,7 +9,9 @@ has produced up to a broadcast instance:
 * the multiversion store (all retained version chains),
 * the snapshot (``SC``) and delivered (``DC``) counters,
 * the certification window (needed to certify transactions whose
-  snapshots predate the checkpoint),
+  snapshots predate the checkpoint) — the key-conflict index
+  (:mod:`repro.core.certindex`) is *not* serialized: it is a pure
+  function of the window and is rebuilt from these records at restore,
 * the current reorder threshold (it can be changed at runtime via
   ``ThresholdChange``, so it is delivery-path state).
 

@@ -25,6 +25,20 @@ class TerminationMode(str, enum.Enum):
     LEDGER = "ledger"
 
 
+class CertifierMode(str, enum.Enum):
+    """How a server checks delivered transactions for conflicts."""
+
+    #: Key-indexed certification (``repro.core.certindex``): per-key
+    #: last-writer/last-reader version tables plus geometrically merged
+    #: write-key segments make every conflict check O(|rs|+|ws|)-ish
+    #: instead of O(window).  Verdicts are bit-identical to SCAN.
+    INDEX = "index"
+    #: The reference O(window × keys) scan, exactly as Algorithm 2 is
+    #: written.  Kept runnable for the A7 ablation and the differential
+    #: property tests.
+    SCAN = "scan"
+
+
 class DelayMode(str, enum.Enum):
     """How the *delaying transactions* technique picks its delay (§IV-D)."""
 
@@ -79,6 +93,9 @@ class SdurConfig:
     #: Committed records retained for certification (the paper's last-K
     #: bloom filters).  Transactions older than the window abort.
     history_window: int = 50_000
+    #: Conflict-check strategy: key-indexed (default) or the reference
+    #: window scan (docs/PROTOCOL.md §15; ablation A7).
+    certifier: CertifierMode = CertifierMode.INDEX
 
     # -- Global-transaction termination (docs/PROTOCOL.md §14) ----------
     #: LEDGER (default) orders every vote through the partition's own
@@ -142,6 +159,10 @@ class SdurConfig:
 
     def with_delaying(self, mode: DelayMode, fixed: float = 0.0) -> "SdurConfig":
         return self._replace(delay_mode=mode, delay_fixed=fixed)
+
+    def with_certifier(self, mode: CertifierMode) -> "SdurConfig":
+        """Copy with the given conflict-check strategy."""
+        return self._replace(certifier=mode)
 
     def _replace(self, **changes: object) -> "SdurConfig":
         from dataclasses import replace

@@ -9,7 +9,7 @@ enabled — for their reorder threshold (Algorithm 2 lines 23–33).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Iterator, Protocol
 
 from repro.core.transaction import Outcome, TxnId, TxnProjection
 from repro.errors import ProtocolError
@@ -80,18 +80,31 @@ class PendingTxn:
         return any(vote == Outcome.ABORT.value for vote in self.votes.values())
 
 
+class PendingListener(Protocol):
+    """Observes pending-list mutations (the key-conflict index mirrors them)."""
+
+    def entry_added(self, entry: PendingTxn) -> None: ...
+
+    def entry_removed(self, entry: PendingTxn) -> None: ...
+
+
 class PendingList:
     """Ordered list of pending transactions with by-id lookup."""
 
     def __init__(self) -> None:
         self._entries: list[PendingTxn] = []
         self._by_tid: dict[TxnId, PendingTxn] = {}
+        #: Mutation observer (``repro.core.certindex`` attaches here).
+        self.listener: PendingListener | None = None
 
     def __len__(self) -> int:
         return len(self._entries)
 
     def __iter__(self) -> Iterator[PendingTxn]:
         return iter(self._entries)
+
+    def __reversed__(self) -> Iterator[PendingTxn]:
+        return reversed(self._entries)
 
     def __contains__(self, tid: TxnId) -> bool:
         return tid in self._by_tid
@@ -106,6 +119,8 @@ class PendingList:
         self._check_new(entry)
         self._entries.append(entry)
         self._by_tid[entry.tid] = entry
+        if self.listener is not None:
+            self.listener.entry_added(entry)
 
     def insert(self, position: int, entry: PendingTxn) -> None:
         """Insert at ``position`` (the reorder leap; Algorithm 2 line 62–63)."""
@@ -114,6 +129,8 @@ class PendingList:
         self._check_new(entry)
         self._entries.insert(position, entry)
         self._by_tid[entry.tid] = entry
+        if self.listener is not None:
+            self.listener.entry_added(entry)
 
     def _check_new(self, entry: PendingTxn) -> None:
         if entry.tid in self._by_tid:
@@ -124,6 +141,8 @@ class PendingList:
             raise ProtocolError("pop_head() on empty pending list")
         entry = self._entries.pop(0)
         del self._by_tid[entry.tid]
+        if self.listener is not None:
+            self.listener.entry_removed(entry)
         return entry
 
     def remove(self, tid: TxnId) -> PendingTxn:
@@ -131,6 +150,8 @@ class PendingList:
         if entry is None:
             raise ProtocolError(f"{tid} not pending")
         self._entries.remove(entry)
+        if self.listener is not None:
+            self.listener.entry_removed(entry)
         return entry
 
     def globals_pending(self) -> list[PendingTxn]:

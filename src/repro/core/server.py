@@ -35,12 +35,8 @@ from collections.abc import Callable
 from typing import Any
 
 from repro.consensus.abcast import AbcastFabric
-from repro.core.certifier import (
-    CertificationWindow,
-    CommittedRecord,
-    find_reorder_position,
-    outcome_conflicts,
-)
+from repro.core.certifier import CertificationWindow, CommittedRecord
+from repro.core.certindex import make_certifier
 from repro.core.checkpoint import (
     CheckpointReply,
     CheckpointRequest,
@@ -103,6 +99,15 @@ class ServerStats:
         self.checkpoints = 0
         self.reads_served = 0
         self.reads_routed = 0
+        #: Per-record pairwise conflict tests evaluated (the scan
+        #: certifier's unit of work; the index only performs these on
+        #: its bloom-record fallback path).  docs/PROTOCOL.md §15.
+        self.ctest_calls = 0
+        #: Certification queries answered entirely from the key index.
+        self.index_hits = 0
+        #: Queries that fell back to probing bloom-readset records
+        #: individually (exact readsets never fall back).
+        self.index_fallbacks = 0
         #: Vote records delivered through this partition's own log
         #: (ledger termination mode only; docs/PROTOCOL.md §14).
         self.votes_ordered = 0
@@ -158,8 +163,14 @@ class SdurServer:
         self.store = MultiVersionStore()
         if initial_data:
             self.store.seed(initial_data)
+        self.stats = ServerStats()
         self.window = CertificationWindow(self.config.history_window)
         self.pending = PendingList()
+        #: Conflict-check strategy over window + pending list
+        #: (key-indexed by default; docs/PROTOCOL.md §15).
+        self.certifier = make_certifier(
+            self.config.certifier, self.window, self.pending, self.stats
+        )
         #: Delivered-transactions counter (Algorithm 2's ``DC``).
         self.dc = 0
         #: Current reorder threshold (changeable via ThresholdChange).
@@ -220,7 +231,6 @@ class SdurServer:
         self.latest_checkpoint: bytes | None = None
         #: Highest broadcast instance ingested (checkpoint coverage bound).
         self._last_instance = -1
-        self.stats = ServerStats()
         self._started = False
 
     # ------------------------------------------------------------------
@@ -559,7 +569,7 @@ class SdurServer:
             self._drain()
             return
         rt = self.dc + self.reorder_threshold
-        verdict = self.window.certify(proj)
+        verdict = self.certifier.certify(proj)
         if obs.enabled:
             obs.event(
                 "server.certify",
@@ -577,7 +587,7 @@ class SdurServer:
             self._finish_aborted(proj, self.stats_bucket("certification"))
             self._drain()
             return
-        deps = set(outcome_conflicts(proj, self.pending))
+        deps = set(self.certifier.outcome_conflicts(proj))
         entry = PendingTxn(
             proj=proj, rt=rt, delivered_at=self.runtime.now(), deps=deps
         )
@@ -641,7 +651,7 @@ class SdurServer:
             self._arm_vote_timeout(entry)
             self._arm_noop_ticker()
         else:
-            position = find_reorder_position(proj, self.pending, self.dc)
+            position = self.certifier.find_reorder_position(proj, self.dc)
             if position is None:
                 self._finish_aborted(proj, self.stats_bucket("reorder"))
                 self._drain()
@@ -1115,8 +1125,18 @@ class SdurServer:
         self.window = window_from_wire(
             checkpoint.window, self.config.history_window, checkpoint.window_floor
         )
+        self._attach_certifier()
         self._last_instance = checkpoint.next_instance - 1
         self.latest_checkpoint = checkpoint.to_bytes()
+
+    def _attach_certifier(self) -> None:
+        """Rebind the conflict-check strategy after ``self.window`` was
+        replaced wholesale (checkpoint restore, migration install): the
+        key index is rebuilt from the new window's records and the
+        pending list, so indexed verdicts keep matching the scan's."""
+        self.certifier = make_certifier(
+            self.config.certifier, self.window, self.pending, self.stats
+        )
 
     # ------------------------------------------------------------------
     # Reconfiguration: live partition splits (repro.reconfig)
@@ -1206,6 +1226,7 @@ class SdurServer:
         self.window = CertificationWindow(
             self.config.history_window, floor=msg.source_sc
         )
+        self._attach_certifier()
         self.snapshot_builder.absorb_migration(msg.source_sc)
         self._migration_pending = False
         self.runtime.trace(
@@ -1339,13 +1360,18 @@ class SdurServer:
         * **pending, decided** — the verdict is already in (or on its way
           through) the log; re-emit it if self-delivery happened, else
           the in-flight VoteRecord will emit it.
-        * **pending, deferred** — the deterministic cycle rule: doom the
-          entry iff its id precedes every dependency's.  In any
-          persistent cross-partition deferral cycle the globally smallest
-          transaction eventually defers only on larger ids, so exactly
-          the cycle's minimum aborts — at every replica, with no timing
-          input.  Requesters re-fire on their vote timeout, so one missed
-          round costs latency, never liveness.
+        * **pending, deferred** — the deterministic cycle rule: follow
+          the chain of smallest dependencies from the requested entry and
+          doom the first one whose id precedes every dependency's.  In
+          any persistent cross-partition deferral cycle the globally
+          smallest transaction defers only on larger ids, so exactly the
+          cycle's minimum aborts — at every replica, with no timing
+          input.  The chain walk matters when that minimum is a *local*
+          transaction: locals never arm vote timeouts, so no abort
+          request ever names them directly, and without the walk a cycle
+          global → local → global wedges forever.  Requesters re-fire on
+          their vote timeout, so one missed round costs latency, never
+          liveness.
         * **undelivered** — abort early, exactly as in optimistic mode,
           but with the abort vote ordered through our log.
         """
@@ -1361,14 +1387,26 @@ class SdurServer:
                 if own is not None:
                     self._emit_vote(tid, own, tuple(msg.involved))
                 return
-            low = entry.min_dep()
-            if low is not None and entry.tid < low:
-                self.stats.cycles_resolved += 1
-                entry.cycle_victim = True
-                self.runtime.trace("sdur.cycle_break", tid=str(tid))
-                self._doom(entry)
-                self._resolve_dependents(tid, committed=False)
-                self._drain()
+            victim = entry
+            while True:
+                low = victim.min_dep()
+                if low is None:
+                    return
+                if victim.tid < low:
+                    break
+                # The wait chain's minimum may hide behind deferred
+                # entries with smaller ids; follow them down (ids
+                # strictly decrease, so the walk terminates).
+                dep = self.pending.get(low)
+                if dep is None or not dep.undecided:
+                    return  # dep is resolving normally; no cycle here
+                victim = dep
+            self.stats.cycles_resolved += 1
+            victim.cycle_victim = True
+            self.runtime.trace("sdur.cycle_break", tid=str(victim.tid))
+            self._doom(victim)
+            self._resolve_dependents(victim.tid, committed=False)
+            self._drain()
             return
         if tid in self._aborted_early:
             # Already killed by an earlier request; re-ledger is a no-op

@@ -74,8 +74,24 @@ class ReadsetDigest(Message):
         """May any of ``keys`` be in the readset?  (Bloom: one-sided error.)"""
         if self.keys is not None:
             return any(key in self.keys for key in keys)
-        bloom = BloomFilter.from_bytes(self.bloom)  # type: ignore[arg-type]
-        return bloom.contains_any(keys)
+        return self.filter().contains_any(keys)
+
+    def filter(self) -> BloomFilter:
+        """The deserialized bloom filter, cached on the (frozen) instance.
+
+        Certification probes one digest against many key sets; decoding
+        the filter once per digest instead of once per probe keeps the
+        hot path off ``BloomFilter.from_bytes``.  The cache lives outside
+        the dataclass fields, so equality, hashing, and the wire codec
+        are unaffected.
+        """
+        if self.bloom is None:
+            raise ProtocolError("digest is exact; no bloom filter to decode")
+        cached = self.__dict__.get("_filter_cache")
+        if cached is None:
+            cached = BloomFilter.from_bytes(self.bloom)
+            object.__setattr__(self, "_filter_cache", cached)
+        return cached
 
     @property
     def is_exact(self) -> bool:

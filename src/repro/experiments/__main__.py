@@ -28,6 +28,7 @@ from collections.abc import Callable
 
 from repro.experiments import (
     ablation_batching,
+    ablation_certindex,
     ablation_multicast,
     ext_failover,
     ablation_bloom,
@@ -63,6 +64,7 @@ REGISTRY: dict[str, tuple[str, Callable[[bool], ExperimentTable]]] = {
     "A4": ("Paxos value-batching ablation", lambda q: ablation_batching.run(quick=q)),
     "A5": ("SDUR vs genuine atomic multicast", lambda q: ablation_multicast.run(quick=q)),
     "A6": ("Vote-ledger termination ablation", lambda q: ablation_vote_ledger.run(quick=q)),
+    "A7": ("Key-indexed vs scan certification", lambda q: ablation_certindex.run(quick=q)),
     "E1": ("Availability under leader failover", lambda q: ext_failover.run(quick=q)),
     "E2": ("Live partition split under load", lambda q: reconfig.run(quick=q)),
 }

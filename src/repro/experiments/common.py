@@ -42,6 +42,9 @@ class GeoRunParams:
     #: Per-link latency jitter (stddev as a fraction of the base delay);
     #: smooths CDFs the way real EC2 variance does.
     jitter_fraction: float = 0.1
+    #: Clients ship readsets as bloom digests (the paper's §V transport;
+    #: exercises the certifier's per-record fallback path in A7).
+    bloom_readsets: bool = False
     config: SdurConfig | None = None
 
     def quick(self) -> "GeoRunParams":
@@ -106,7 +109,9 @@ def run_geo_microbench(params: GeoRunParams) -> GeoRunResult:
         region = deployment.preferred_region[partition]
         home_index = int(partition[1:])
         for _ in range(params.clients_per_partition):
-            client = cluster.add_client(region=region)
+            client = cluster.add_client(
+                region=region, bloom_readsets=params.bloom_readsets
+            )
             workload = MicroBenchmark(
                 num_partitions=params.num_partitions,
                 home_partition_index=home_index,

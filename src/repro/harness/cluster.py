@@ -289,6 +289,9 @@ class SdurCluster:
                 "votes_ordered": stats.votes_ordered,
                 "cycles_resolved": stats.cycles_resolved,
                 "vote_ledger_aborts": stats.vote_ledger_aborts,
+                "ctest_calls": stats.ctest_calls,
+                "index_hits": stats.index_hits,
+                "index_fallbacks": stats.index_fallbacks,
             }
         return out
 

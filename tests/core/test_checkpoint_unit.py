@@ -101,6 +101,6 @@ class TestWindowWire:
             )
         )
         restored = window_from_wire(window_to_wire(window), capacity=3, floor=0)
-        record = restored.records_after(0)[0]
+        record = next(iter(restored.records_after(0)))
         assert record.readset.contains_any(["hot"])
         assert not record.readset.is_exact

@@ -293,6 +293,32 @@ class TestCycleRule:
         entry = server.pending.get(TxnId("c", 2))
         assert entry is not None and not entry.doomed
 
+    def test_abort_request_walks_through_deferred_local(self):
+        """The cycle's minimum can be a *local* transaction: locals never
+        arm vote timeouts, so no abort request ever names them directly.
+        The request for a larger global must walk down the dependency
+        chain and doom the local, or the cycle wedges forever (this
+        deadlocked full-system runs before the chain walk existed)."""
+        fabric = CaptureFabric()
+        world, server, _ = make_server(fabric=fabric)
+        # g3 waits on p1's vote; local l1 defers on g3; g2 defers on l1.
+        server.on_adeliver(0, proj(3, reads=["a"], writes=["a"]))
+        server.on_adeliver(
+            1, proj(1, reads=["a", "b"], writes=["b"], partitions=("p0",))
+        )
+        server.on_adeliver(2, proj(2, reads=["b", "c"], writes=["c"]))
+        world.run_for(0.1)
+        assert server.pending.get(TxnId("c", 2)).deps == {TxnId("c", 1)}
+        assert server.pending.get(TxnId("c", 1)).deps == {TxnId("c", 3)}
+        server.on_adeliver(3, abort_request(2))
+        world.run_for(0.1)
+        victim = server.pending.get(TxnId("c", 1))
+        assert server.stats.cycles_resolved == 1
+        assert victim.cycle_victim and victim.doomed
+        # g2's deferral evaporated: its commit verdict heads to the log.
+        records = vote_records(fabric, 2)
+        assert any(r.vote == "commit" and r.partition == "p0" for r in records)
+
     def test_cycle_victim_counts_as_ledger_abort(self):
         fabric = CaptureFabric()
         world, server, sent = make_server(fabric=fabric)
