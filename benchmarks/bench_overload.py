@@ -1,0 +1,128 @@
+"""Overload scenario smoke: downsized O4 with admission control on.
+
+Runs the sustained-overload scenario (``repro.experiments.overload``,
+O4) at reduced measurement length — 4 open-loop clients offering 5x one
+partition's capacity against the §16 admission controller — and asserts
+the PR's acceptance gates:
+
+* the server-side backlog stays bounded: ``queue_depth_max`` never
+  exceeds twice the configured ``max_queue_depth`` (the slack covers
+  read work, which the default policy does not shed);
+* the committed history passes the replica-agreement and
+  serializability checkers (shedding may cost throughput, never
+  correctness);
+* goodput under overload stays a usable fraction of capacity.
+
+    PYTHONPATH=src python benchmarks/bench_overload.py
+
+writes ``benchmarks/BENCH_overload.json`` (committed as the CI
+baseline).
+
+    PYTHONPATH=src python benchmarks/bench_overload.py --check PATH
+
+re-runs the scenario and fails (exit 1) if any gate above fails or if
+goodput drops below half the committed baseline — the simulation is
+deterministic, so half is a deliberately loose floor that only trips on
+real behavioral regressions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.experiments import overload  # noqa: E402
+
+BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_overload.json"
+
+
+def run_once() -> dict:
+    result = overload.o4_once(admission_on=True, quick=True)
+    print(
+        f"offered={result['offered_tps']} tps  "
+        f"goodput={result['goodput_tps']} tps  "
+        f"p50={result['p50_ms']}ms p99={result['p99_ms']}ms  "
+        f"shed={result['shed_total']}  "
+        f"queue_max={result['queue_depth_max']} "
+        f"stall_max={result['stall_depth_max']}"
+    )
+    print(result["check_note"])
+    return result
+
+
+def gate_failures(result: dict, baseline: dict | None = None) -> list[str]:
+    failures = []
+    bound = 2 * overload.ADMISSION.max_queue_depth
+    if result["queue_depth_max"] > bound:
+        failures.append(
+            f"queue_depth_max {result['queue_depth_max']} exceeds the "
+            f"admission bound {bound} (2 x max_queue_depth)"
+        )
+    note = result["check_note"]
+    if "agreement OK" not in note or "serializable OK" not in note:
+        failures.append(f"checkers failed: {note}")
+    if result["goodput_tps"] < 0.3 * overload.CAPACITY:
+        failures.append(
+            f"goodput {result['goodput_tps']} tps is below 30% of the "
+            f"{overload.CAPACITY:.0f} tps capacity"
+        )
+    if baseline is not None:
+        floor = baseline["goodput_tps"] / 2.0
+        if result["goodput_tps"] < floor:
+            failures.append(
+                f"goodput {result['goodput_tps']} tps regressed >2x below "
+                f"the committed baseline {baseline['goodput_tps']} tps"
+            )
+    return failures
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check",
+        metavar="PATH",
+        help="compare a re-run against a committed baseline JSON",
+    )
+    parser.add_argument(
+        "--out",
+        default=str(BASELINE_PATH),
+        help="baseline output path (default: benchmarks/BENCH_overload.json)",
+    )
+    args = parser.parse_args()
+
+    result = run_once()
+    baseline = None
+    if args.check:
+        baseline = json.loads(Path(args.check).read_text())["result"]
+    failures = gate_failures(result, baseline)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if failures:
+        return 1
+
+    if args.check:
+        print("scenario smoke OK: queue bounded, checkers green, goodput held")
+        return 0
+
+    payload = {
+        "benchmark": "O4 sustained 5x overload, admission on (quick)",
+        "capacity_tps": round(overload.CAPACITY),
+        "admission": {
+            "rate": overload.ADMISSION.rate,
+            "burst": overload.ADMISSION.burst,
+            "max_inflight": overload.ADMISSION.max_inflight,
+            "max_queue_depth": overload.ADMISSION.max_queue_depth,
+        },
+        "result": result,
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"baseline written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -45,13 +45,16 @@ from repro.core.server import SdurServer
 from repro.core.transaction import Outcome, TxnId
 from repro.geo.deployments import lan_deployment, wan1_deployment, wan2_deployment
 from repro.harness.cluster import SdurCluster, build_cluster
-from repro.harness.driver import ClosedLoopDriver, run_experiment
+from repro.harness.driver import ClosedLoopDriver, OpenLoopDriver, run_experiment, run_open_loop
+from repro.overload.admission import AdmissionConfig
 
 __version__ = "0.1.0"
 
 __all__ = [
+    "AdmissionConfig",
     "ClientConfig",
     "ClosedLoopDriver",
+    "OpenLoopDriver",
     "DelayMode",
     "Outcome",
     "PartitionMap",
@@ -68,6 +71,7 @@ __all__ = [
     "build_cluster",
     "lan_deployment",
     "run_experiment",
+    "run_open_loop",
     "wan1_deployment",
     "wan2_deployment",
     "__version__",

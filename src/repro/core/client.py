@@ -31,6 +31,7 @@ from typing import Any
 
 from repro.core.directory import ClusterDirectory
 from repro.core.messages import (
+    Busy,
     CommitRequest,
     GetSnapshotVector,
     OutcomeNotice,
@@ -42,9 +43,10 @@ from repro.core.partitioning import PartitionMap
 from repro.core.transaction import Outcome, ReadsetDigest, TxnId, TxnProjection
 from repro.errors import ProtocolError
 from repro.obs.recorder import NULL_RECORDER
+from repro.overload.backoff import BackoffPolicy
 from repro.reconfig.epochs import VersionedRouting
 from repro.reconfig.messages import ConfigSnapshot, GetConfig, StaleEpochNotice
-from repro.runtime.base import Runtime
+from repro.runtime.base import Runtime, TimerHandle
 
 
 @dataclass(frozen=True)
@@ -118,6 +120,22 @@ class ClientConfig:
     #: How many times one transaction may restart because the directory
     #: changed under it (partition split) before giving up.
     max_epoch_retries: int = 3
+    # -- Retry backoff (docs/PROTOCOL.md §16) ---------------------------
+    #: Retry delays grow geometrically: the n-th read/commit timeout
+    #: retry waits ``timeout * backoff_multiplier**n`` (capped at
+    #: ``backoff_cap``), and each delay is jittered so that clients a
+    #: shed or failover synchronized do not retry in lockstep.
+    backoff_cap: float = 2.0
+    backoff_multiplier: float = 2.0
+    #: Fraction of each delay randomized away (0 = deterministic timing).
+    backoff_jitter: float = 0.5
+    #: Base delay before resubmitting work a server refused with ``Busy``
+    #: (grows with the same multiplier/cap; the server's ``retry_after``
+    #: hint is honored as a floor).
+    busy_backoff_base: float = 0.02
+    #: ``Busy`` resubmissions for one commit before giving up and
+    #: reporting the transaction shed.
+    max_busy_retries: int = 16
 
 
 #: A transaction program: generator yielding Read/ReadMany operations.
@@ -179,6 +197,9 @@ class _ActiveTxn:
         self.next_op = 0
         #: op_id -> retry attempts made (read failover bookkeeping).
         self.read_attempts: dict[int, int] = {}
+        #: op_id -> armed retry timer (cancelled when a ``Busy`` reply
+        #: reschedules the read: a busy server answered, it is not dead).
+        self.read_timers: dict[int, TimerHandle] = {}
         #: op_id -> last server the read was sent to (suspicion target).
         self.read_targets: dict[int, str] = {}
         #: op_id -> key, for single reads in flight.
@@ -190,6 +211,11 @@ class _ActiveTxn:
         self.committing = False
         self.resend_count = 0
         self.last_commit_target: str | None = None
+        #: The built request, kept for idempotent resubmission after a
+        #: ``Busy`` shed (same tid; delivery-side dedup absorbs races).
+        self.commit_request: CommitRequest | None = None
+        self.commit_timer: TimerHandle | None = None
+        self.busy_retries = 0
 
     def record_write(self, key: str, value: Any) -> None:
         if self.read_only:
@@ -212,6 +238,10 @@ class ClientStats:
         self.commit_resends = 0
         #: Transactions restarted because the directory changed under them.
         self.epoch_retries = 0
+        #: ``Busy`` sheds received (reads and commits; §16).
+        self.busy_replies = 0
+        #: Commits abandoned after exhausting ``max_busy_retries``.
+        self.shed_aborts = 0
 
 
 class SdurClient:
@@ -246,6 +276,23 @@ class SdurClient:
         #: failure detection: a suspected server is deprioritized for
         #: reads and commit resends until the suspicion expires).
         self._suspected: dict[str, float] = {}
+        self._backoff_rng = runtime.rng("backoff")
+
+        def policy(base: float) -> BackoffPolicy:
+            return BackoffPolicy(
+                base=base,
+                cap=max(config.backoff_cap, base),
+                multiplier=config.backoff_multiplier,
+                jitter=config.backoff_jitter,
+            )
+
+        self._busy_backoff = policy(config.busy_backoff_base)
+        self._read_backoff = (
+            policy(config.read_timeout) if config.read_timeout is not None else None
+        )
+        self._commit_backoff = (
+            policy(config.commit_timeout) if config.commit_timeout is not None else None
+        )
         self.stats = ClientStats()
 
     @property
@@ -319,6 +366,8 @@ class SdurClient:
             self._on_vector(msg)
         elif isinstance(msg, OutcomeNotice):
             self._on_outcome(msg)
+        elif isinstance(msg, Busy):
+            self._on_busy(msg)
         elif isinstance(msg, StaleEpochNotice):
             self._on_stale_epoch(msg)
         elif isinstance(msg, ConfigSnapshot):
@@ -331,7 +380,14 @@ class SdurClient:
     # Client-side failure suspicion
     # ------------------------------------------------------------------
     def _suspect(self, server: str) -> None:
-        self._suspected[server] = self.runtime.now() + self.config.suspect_ttl
+        now = self.runtime.now()
+        self._suspected[server] = now + self.config.suspect_ttl
+        # Prune expired suspicions while we are here: the dict only grows
+        # on this path, so a long-lived client otherwise accumulates an
+        # entry for every server it ever timed out against.
+        expired = [s for s, until in self._suspected.items() if until <= now]
+        for server in expired:
+            del self._suspected[server]
 
     def _responsive(self, servers: list[str]) -> list[str]:
         """``servers`` with suspected ones moved to the back (never empty)."""
@@ -431,7 +487,11 @@ class SdurClient:
             self._send_read(state, op_id, key, attempt)
             self._arm_read_retry(state, op_id, key)
 
-        self.runtime.set_timer(self.config.read_timeout, fire)
+        # Successive waits grow exponentially (capped, jittered): fast
+        # first failover, no retry storm against a slow partition.
+        attempt = state.read_attempts.get(op_id, 0)
+        delay = self._read_backoff.delay(attempt, self._backoff_rng)
+        state.read_timers[op_id] = self.runtime.set_timer(delay, fire)
 
     def _on_read_response(self, src: str, msg: ReadResponse) -> None:
         if msg.epoch > self.routing.epoch:
@@ -500,6 +560,7 @@ class SdurClient:
             self._restart(state)
             return
         state.last_commit_target = target
+        state.commit_request = request
         if self._obs.enabled:
             self._obs.event("client.commit", self.node_id, state.tid, target=target)
         self.runtime.send(target, request)
@@ -582,13 +643,93 @@ class SdurClient:
             self.runtime.send(target, request)
             self._arm_commit_retry(state, request)
 
-        self.runtime.set_timer(self.config.commit_timeout, fire)
+        delay = self._commit_backoff.delay(state.resend_count, self._backoff_rng)
+        state.commit_timer = self.runtime.set_timer(delay, fire)
 
     def _on_outcome(self, msg: OutcomeNotice) -> None:
         state = self._active.get(msg.tid)
         if state is None:
             return  # later replica notices for an already-finished txn
         self._finish(state, Outcome(msg.outcome))
+
+    # ------------------------------------------------------------------
+    # Overload sheds (docs/PROTOCOL.md §16)
+    # ------------------------------------------------------------------
+    def _on_busy(self, msg: Busy) -> None:
+        state = self._active.get(msg.tid)
+        if state is None:
+            return  # shed raced the outcome of a resubmitted duplicate
+        self.stats.busy_replies += 1
+        # A busy server answered: it is loaded, not dead.
+        self._suspected.pop(msg.server, None)
+        if self._obs.enabled:
+            self._obs.event(
+                "client.busy", self.node_id, msg.tid, server=msg.server, reason=msg.reason
+            )
+        if msg.op_id is not None:
+            self._on_read_shed(state, msg)
+            return
+        if not state.committing:
+            return  # stale shed for a commit that already finished
+        state.busy_retries += 1
+        if state.busy_retries > self.config.max_busy_retries:
+            self.stats.shed_aborts += 1
+            self._finish(state, Outcome.ABORT, abort_reason=f"shed ({msg.reason})")
+            return
+        # The timeout retry would suspect the server and fail over; a
+        # shed wants neither, so disarm it and resubmit the *same*
+        # request after backing off (tid dedup makes this idempotent).
+        if state.commit_timer is not None:
+            state.commit_timer.cancel()
+            state.commit_timer = None
+        delay = max(
+            msg.retry_after,
+            self._busy_backoff.delay(state.busy_retries - 1, self._backoff_rng),
+        )
+        request = state.commit_request
+        assert request is not None  # committing implies a built request
+
+        def resubmit() -> None:
+            if state.tid not in self._active or not state.committing:
+                return
+            target = self._commit_target_for(state)
+            state.last_commit_target = target
+            self.runtime.send(target, request)
+            if self.config.commit_timeout is not None:
+                self._arm_commit_retry(state, request)
+
+        self.runtime.set_timer(delay, resubmit)
+
+    def _on_read_shed(self, state: _ActiveTxn, msg: Busy) -> None:
+        op_id = msg.op_id
+        assert op_id is not None
+        if op_id in state.single_ops:
+            key = state.single_ops[op_id]
+        elif op_id in state.batch_ops:
+            key = state.batch_ops[op_id]
+        else:
+            return  # another replica answered in the meantime
+        timer = state.read_timers.pop(op_id, None)
+        if timer is not None:
+            timer.cancel()
+        attempt = state.read_attempts.get(op_id, 0) + 1
+        state.read_attempts[op_id] = attempt
+        delay = max(
+            msg.retry_after, self._busy_backoff.delay(attempt - 1, self._backoff_rng)
+        )
+
+        def resend() -> None:
+            if state.tid not in self._active:
+                return
+            if op_id not in state.single_ops and op_id not in state.batch_ops:
+                return
+            # The bumped attempt rotates to the next-nearest replica,
+            # which may have headroom the shedding one lacked.
+            self._send_read(state, op_id, key, attempt)
+            if self._read_backoff is not None:
+                self._arm_read_retry(state, op_id, key)
+
+        self.runtime.set_timer(delay, resend)
 
     # ------------------------------------------------------------------
     # Reconfiguration (epoch-versioned routing)

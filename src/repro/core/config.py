@@ -5,6 +5,8 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
+from repro.overload.admission import AdmissionConfig
+
 
 class TerminationMode(str, enum.Enum):
     """How global-transaction votes take effect at a partition's replicas."""
@@ -135,6 +137,13 @@ class SdurConfig:
     #: when GC runs; older snapshot reads abort with "snapshot too old".
     store_gc_keep: int = 10_000
 
+    # -- Admission control (docs/PROTOCOL.md §16) -------------------------
+    #: Token-bucket admission + bounded ingress/stall queues in front of
+    #: the server; overload is refused with explicit ``Busy`` replies.
+    #: ``None`` (default) disables shedding entirely — the pre-§16
+    #: behavior, kept as the O4 ablation baseline.
+    admission: AdmissionConfig | None = None
+
     # -- Client notification ---------------------------------------------
     #: Every replica (not just the coordinator) sends the outcome to the
     #: client.  Costlier but robust to coordinator crashes.
@@ -163,6 +172,10 @@ class SdurConfig:
     def with_certifier(self, mode: CertifierMode) -> "SdurConfig":
         """Copy with the given conflict-check strategy."""
         return self._replace(certifier=mode)
+
+    def with_admission(self, admission: AdmissionConfig | None) -> "SdurConfig":
+        """Copy with the given admission policy (``None`` disables)."""
+        return self._replace(admission=admission)
 
     def _replace(self, **changes: object) -> "SdurConfig":
         from dataclasses import replace

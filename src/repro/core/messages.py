@@ -94,6 +94,30 @@ class OutcomeNotice(Message):
     partition: str
 
 
+@message
+@dataclass(frozen=True)
+class Busy(Message):
+    """Server → client: work refused by admission control (§16).
+
+    An explicit shed instead of silent unbounded queueing.  Nothing was
+    broadcast for ``tid``, so the client may resubmit the *same* request
+    under the same id after backing off — delivery-side tid dedup absorbs
+    the rare duplicate where a slow first accept races the retry.
+    """
+
+    tid: TxnId
+    #: The serving server's node id (suspicion bookkeeping excludes it:
+    #: a busy server is alive, merely loaded).
+    server: str
+    #: Shed cause (an :class:`repro.overload.AdmissionDecision` value).
+    reason: str
+    #: Client backoff floor hint in seconds.
+    retry_after: float = 0.0
+    #: Set for shed reads: which in-flight read op was refused
+    #: (``None`` = the commit request was refused).
+    op_id: int | None = None
+
+
 # ----------------------------------------------------------------------
 # Atomic-broadcast values (delivered in partition order)
 # ----------------------------------------------------------------------

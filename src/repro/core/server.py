@@ -48,6 +48,7 @@ from repro.core.config import DelayMode, SdurConfig, TerminationMode
 from repro.core.directory import ClusterDirectory
 from repro.core.messages import (
     AbortRequest,
+    Busy,
     CommitGossip,
     CommitRequest,
     GetSnapshotVector,
@@ -65,6 +66,7 @@ from repro.core.snapshots import GlobalSnapshotBuilder
 from repro.core.transaction import Outcome, TxnId, TxnProjection
 from repro.errors import ConfigurationError, ProtocolError, SnapshotTooOldError
 from repro.obs.recorder import NULL_RECORDER
+from repro.overload.admission import AdmissionController, AdmissionDecision
 from repro.reconfig.epochs import VersionedRouting
 from repro.reconfig.messages import (
     BeginSplit,
@@ -116,6 +118,21 @@ class ServerStats:
         #: Aborts whose cause was a cycle-rule doom (a subset of
         #: ``aborted_deferred`` — not added into :attr:`aborted`).
         self.vote_ledger_aborts = 0
+        #: Commit requests admitted by the §16 admission controller
+        #: (always counted, even with admission off, so the O-suite can
+        #: compare offered vs accepted load across ablations).
+        self.admitted = 0
+        #: Ingress refused with a ``Busy`` reply (rate, in-flight, or
+        #: queue-depth bound); 0 forever when admission is off.
+        self.shed_total = 0
+        #: Current delivery backlog: stalled deliveries + pending list
+        #: (a gauge, refreshed at every admission check and delivery).
+        self.queue_depth = 0
+        #: High-water mark of :attr:`queue_depth` over the run.
+        self.queue_depth_max = 0
+        #: High-water mark of the stall queue alone (the §16 bound's
+        #: second component; unbounded growth here was the pre-§16 bug).
+        self.stall_depth_max = 0
 
     @property
     def committed(self) -> int:
@@ -164,6 +181,14 @@ class SdurServer:
         if initial_data:
             self.store.seed(initial_data)
         self.stats = ServerStats()
+        #: Admission controller (docs/PROTOCOL.md §16); ``None`` = every
+        #: request accepted, queues unbounded (the pre-§16 behavior,
+        #: kept runnable as the O4 ablation baseline).
+        self.admission: AdmissionController | None = (
+            AdmissionController(self.config.admission)
+            if self.config.admission is not None
+            else None
+        )
         self.window = CertificationWindow(self.config.history_window)
         self.pending = PendingList()
         #: Conflict-check strategy over window + pending list
@@ -302,7 +327,8 @@ class SdurServer:
         if isinstance(msg, ReadRequest):
             self._on_read(src, msg)
         elif isinstance(msg, CommitRequest):
-            self.submit(msg)
+            if self._admit_commit(msg):
+                self.submit(msg)
         elif isinstance(msg, Vote):
             self._on_vote(src, msg)
         elif isinstance(msg, GetSnapshotVector):
@@ -330,6 +356,69 @@ class SdurServer:
         return True
 
     # ------------------------------------------------------------------
+    # Admission control (docs/PROTOCOL.md §16)
+    # ------------------------------------------------------------------
+    def _queue_depth(self) -> int:
+        """Delivery backlog gauge: stalled deliveries + pending entries."""
+        depth = len(self._stalled) + len(self.pending)
+        self.stats.queue_depth = depth
+        if depth > self.stats.queue_depth_max:
+            self.stats.queue_depth_max = depth
+        return depth
+
+    def _sync_admission_stats(self) -> None:
+        self.stats.admitted = self.admission.admitted
+        self.stats.shed_total = self.admission.shed_total
+
+    def _admit_commit(self, request: CommitRequest) -> bool:
+        """Admit or shed one commit request, before anything is broadcast.
+
+        Shedding happens strictly on the ingress side: a refused
+        transaction was never proposed to any partition's log, so every
+        replica still delivers identical sequences.  The refusal is
+        explicit — a :class:`Busy` reply — never a silent drop, so the
+        client backs off instead of suspecting a crash.
+        """
+        depth = self._queue_depth()
+        if self.admission is None:
+            self.stats.admitted += 1
+            return True
+        decision = self.admission.admit_commit(request.tid, self.runtime.now(), depth)
+        self._sync_admission_stats()
+        if decision.admitted:
+            return True
+        # Every projection carries the same submitting client.
+        client = next(iter(request.projections.values())).client
+        self._send_busy(client, request.tid, decision)
+        return False
+
+    def _send_busy(
+        self,
+        reply_to: str,
+        tid: TxnId,
+        decision: AdmissionDecision,
+        op_id: int | None = None,
+    ) -> None:
+        if self._obs.enabled:
+            self._obs.event(
+                "server.shed", self.node_id, tid, reason=decision.value
+            )
+        if reply_to:
+            self.runtime.send(
+                reply_to,
+                Busy(
+                    tid=tid,
+                    server=self.node_id,
+                    reason=decision.value,
+                    retry_after=self.admission.config.retry_after,
+                    op_id=op_id,
+                ),
+            )
+        self.runtime.trace(
+            "sdur.shed", tid=str(tid), reason=decision.value, op_id=op_id
+        )
+
+    # ------------------------------------------------------------------
     # Reads (Algorithm 2 lines 7–10)
     # ------------------------------------------------------------------
     def _on_read(self, src: str, msg: ReadRequest) -> None:
@@ -345,6 +434,12 @@ class SdurServer:
             # Our key range is still in flight from the source partition.
             self._parked_reads.append(msg)
             return
+        if self.admission is not None:
+            decision = self.admission.admit_read(self.runtime.now(), self._queue_depth())
+            if not decision.admitted:
+                self._sync_admission_stats()
+                self._send_busy(msg.reply_to, msg.tid, decision, op_id=msg.op_id)
+                return
         self.runtime.execute(self.config.costs.read, lambda: self._serve_read(msg))
 
     def _serve_read(self, msg: ReadRequest) -> None:
@@ -492,6 +587,9 @@ class SdurServer:
             return
         if self._applying or self._stalled or self._gate_blocks(value):
             self._stalled.append(value)
+            if len(self._stalled) > self.stats.stall_depth_max:
+                self.stats.stall_depth_max = len(self._stalled)
+            self._queue_depth()
             return
         self._process_value(value)
         self._pump()
@@ -1000,6 +1098,8 @@ class SdurServer:
         self._completed[tid] = outcome.value
         while len(self._completed) > self._completed_limit:
             self._completed.popitem(last=False)
+        if self.admission is not None:
+            self.admission.note_completed(tid)
 
     def _notify_client(self, proj: TxnProjection, outcome: Outcome) -> None:
         if proj.client and self._should_notify(proj):

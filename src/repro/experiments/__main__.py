@@ -42,6 +42,7 @@ from repro.experiments import (
     fig4_reorder_wan1,
     fig5_reorder_wan2,
     fig6_social,
+    overload,
     reconfig,
     scalability,
 )
@@ -67,6 +68,10 @@ REGISTRY: dict[str, tuple[str, Callable[[bool], ExperimentTable]]] = {
     "A7": ("Key-indexed vs scan certification", lambda q: ablation_certindex.run(quick=q)),
     "E1": ("Availability under leader failover", lambda q: ext_failover.run(quick=q)),
     "E2": ("Live partition split under load", lambda q: reconfig.run(quick=q)),
+    "O1": ("Flash crowd with hot-key storm", lambda q: overload.run_o1(quick=q)),
+    "O2": ("Region loss and recovery under load", lambda q: overload.run_o2(quick=q)),
+    "O3": ("Slow-replica gray failure", lambda q: overload.run_o3(quick=q)),
+    "O4": ("Sustained 5x overload: admission on vs off", lambda q: overload.run_o4(quick=q)),
 }
 
 

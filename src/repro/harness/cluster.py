@@ -292,6 +292,11 @@ class SdurCluster:
                 "ctest_calls": stats.ctest_calls,
                 "index_hits": stats.index_hits,
                 "index_fallbacks": stats.index_fallbacks,
+                "admitted": stats.admitted,
+                "shed_total": stats.shed_total,
+                "queue_depth": stats.queue_depth,
+                "queue_depth_max": stats.queue_depth_max,
+                "stall_depth_max": stats.stall_depth_max,
             }
         return out
 

@@ -21,6 +21,7 @@ from repro.core.client import SdurClient, TxnResult
 from repro.harness.cluster import SdurCluster
 from repro.metrics.collector import MetricsCollector, WorkloadSummary
 from repro.workload.base import Workload
+from repro.workload.overload import LoadShape
 
 
 class ClosedLoopDriver:
@@ -74,6 +75,76 @@ class ClosedLoopDriver:
             self._issue()
 
 
+class OpenLoopDriver:
+    """Issues transactions at a scripted offered rate (docs/PROTOCOL.md §16).
+
+    Open-loop load models external demand: arrivals follow the
+    :class:`~repro.workload.overload.LoadShape` regardless of how many
+    transactions are still in flight, so — unlike the closed loop — it
+    *can* overload the deployment.  Inter-arrival gaps are exponential
+    (Poisson arrivals) from the client's deterministic RNG stream.
+
+    With ``retry_storm`` every abort immediately launches a replacement
+    transaction on top of the scheduled arrivals — the anti-pattern of a
+    caller that retries without backing off, amplifying its own overload.
+    """
+
+    #: Re-check interval while the shape's rate is zero.
+    IDLE_POLL = 0.05
+
+    def __init__(
+        self,
+        client: SdurClient,
+        workload: Workload,
+        collector: MetricsCollector,
+        shape: LoadShape,
+        recorder: HistoryRecorder | None = None,
+        retry_storm: bool = False,
+    ) -> None:
+        self.client = client
+        self.workload = workload
+        self.collector = collector
+        self.shape = shape
+        self.recorder = recorder
+        self.retry_storm = retry_storm
+        self._rng = client.runtime.rng("workload")
+        self._stopped = False
+        self.issued = 0
+        self.inflight = 0
+
+    def start(self) -> None:
+        self._tick()
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    def _tick(self) -> None:
+        if self._stopped:
+            return
+        rate = self.shape.rate(self.client.runtime.now())
+        if rate <= 0:
+            self.client.runtime.set_timer(self.IDLE_POLL, self._tick)
+            return
+        self._issue()
+        self.client.runtime.set_timer(self._rng.expovariate(rate), self._tick)
+
+    def _issue(self) -> None:
+        spec = self.workload.next_txn(self._rng)
+        self.issued += 1
+        self.inflight += 1
+        self.client.execute(
+            spec.program, self._on_done, read_only=spec.read_only, label=spec.label
+        )
+
+    def _on_done(self, result: TxnResult) -> None:
+        self.inflight -= 1
+        self.collector.record(result)
+        if self.recorder is not None:
+            self.recorder.record_result(result)
+        if self.retry_storm and not result.committed and not self._stopped:
+            self._issue()
+
+
 @dataclass
 class ExperimentRun:
     """Everything measured in one experiment execution."""
@@ -110,6 +181,42 @@ def run_experiment(
     drivers = [
         ClosedLoopDriver(client, workload, collector, recorder, think_time=think_time)
         for client, workload in pairs
+    ]
+    cluster.start()
+    for driver in drivers:
+        driver.start()
+    cluster.world.run(until=warmup + measure)
+    for driver in drivers:
+        driver.stop()
+    cluster.world.run(until=warmup + measure + drain)
+    collector.ingest_server_stats(cluster.server_stats())
+    obs = getattr(cluster.world, "obs", None)
+    if obs is not None and obs.enabled:
+        collector.ingest_obs(obs)
+    return ExperimentRun(
+        cluster=cluster,
+        collector=collector,
+        recorder=recorder,
+        window_start=warmup,
+        window_end=warmup + measure,
+    )
+
+
+def run_open_loop(
+    cluster: SdurCluster,
+    trios: list[tuple[SdurClient, Workload, LoadShape]],
+    warmup: float,
+    measure: float,
+    drain: float = 3.0,
+    record_history: bool = False,
+    retry_storm: bool = False,
+) -> ExperimentRun:
+    """Like :func:`run_experiment`, but with scripted-rate open-loop load."""
+    collector = MetricsCollector()
+    recorder = cluster.attach_recorder() if record_history else None
+    drivers = [
+        OpenLoopDriver(client, workload, collector, shape, recorder, retry_storm)
+        for client, workload, shape in trios
     ]
     cluster.start()
     for driver in drivers:

@@ -17,7 +17,7 @@ from repro.core.client import TxnResult
 from repro.errors import ConfigurationError
 from repro.harness.cluster import SdurCluster
 
-FaultKind = Literal["crash", "cut", "heal", "split"]
+FaultKind = Literal["crash", "cut", "heal", "split", "degrade", "restore"]
 
 
 @dataclass(frozen=True)
@@ -26,19 +26,30 @@ class Fault:
 
     at: float
     kind: FaultKind
-    #: Node for crashes; ``(a, b)`` endpoints for cut/heal; the source
-    #: partition id for splits.
+    #: Node for crashes/degrades/restores; ``(a, b)`` endpoints for
+    #: cut/heal; the source partition id for splits.
     target: str | tuple[str, str]
+    #: Extra per-message delay for ``degrade`` (gray failure).
+    delay: float = 0.0
+    #: Additional uniform jitter on top of ``delay`` for ``degrade``.
+    jitter: float = 0.0
 
     def __post_init__(self) -> None:
         if self.at < 0:
             raise ConfigurationError("fault time must be non-negative")
-        if self.kind in ("crash", "split") and not isinstance(self.target, str):
-            raise ConfigurationError(f"{self.kind} targets one {'node' if self.kind == 'crash' else 'partition'}")
+        if self.kind in ("crash", "split", "degrade", "restore") and not isinstance(
+            self.target, str
+        ):
+            raise ConfigurationError(
+                f"{self.kind} targets one "
+                f"{'partition' if self.kind == 'split' else 'node'}"
+            )
         if self.kind in ("cut", "heal") and (
             not isinstance(self.target, tuple) or len(self.target) != 2
         ):
             raise ConfigurationError(f"{self.kind} targets a link (a, b)")
+        if self.kind == "degrade" and (self.delay < 0 or self.jitter < 0):
+            raise ConfigurationError("degrade delay/jitter must be non-negative")
 
 
 @dataclass
@@ -67,12 +78,58 @@ class FaultSchedule:
         self.faults.append(Fault(at=at, kind="split", target=partition))
         return self
 
+    def degrade(
+        self, at: float, node: str, delay: float, jitter: float = 0.0
+    ) -> "FaultSchedule":
+        """Gray-fail ``node``: every message to/from it takes ``delay``
+        extra seconds (+ up to ``jitter``).  The node stays up and correct
+        — the *slow replica* failure mode crash detectors miss."""
+        self.faults.append(
+            Fault(at=at, kind="degrade", target=node, delay=delay, jitter=jitter)
+        )
+        return self
+
+    def restore(self, at: float, node: str) -> "FaultSchedule":
+        """Undo a degrade: ``node`` returns to healthy latency."""
+        self.faults.append(Fault(at=at, kind="restore", target=node))
+        return self
+
     def crash_region(self, at: float, cluster: SdurCluster, region: str) -> "FaultSchedule":
         """Crash every *server* placed in ``region`` (catastrophic failure)."""
         for node in cluster.deployment.topology.nodes_in_region(region):
             if node in cluster.servers:
                 self.crash(at, node)
         return self
+
+    def region_loss(self, at: float, cluster: SdurCluster, region: str) -> "FaultSchedule":
+        """Disconnect ``region``'s servers from everything outside it.
+
+        Unlike :meth:`crash_region` (crash-stop is forever in the sim),
+        a loss is *recoverable*: :meth:`region_heal` restores the links
+        and the isolated replicas catch up through Paxos.
+        """
+        for a, b in self._region_boundary(cluster, region):
+            self.cut(at, a, b)
+        return self
+
+    def region_heal(self, at: float, cluster: SdurCluster, region: str) -> "FaultSchedule":
+        """Reconnect a region isolated by :meth:`region_loss`."""
+        for a, b in self._region_boundary(cluster, region):
+            self.heal(at, a, b)
+        return self
+
+    @staticmethod
+    def _region_boundary(cluster: SdurCluster, region: str) -> list[tuple[str, str]]:
+        """Every (inside-server, outside-node) link crossing the region edge.
+
+        Note the asymmetry: clients *inside* the lost region keep their
+        links (they share the region's fate anyway), while traffic from
+        outside clients and servers into the region is severed.
+        """
+        topology = cluster.deployment.topology
+        inside = [n for n in topology.nodes_in_region(region) if n in cluster.servers]
+        outside = [n for n in topology.node_ids if topology.region_of(n) != region]
+        return [(a, b) for a in inside for b in outside]
 
     # Arming ---------------------------------------------------------------
     def arm(self, cluster: SdurCluster) -> None:
@@ -96,6 +153,12 @@ class FaultSchedule:
             cluster.world.network.heal_link(a, b)
         elif fault.kind == "split":
             cluster.split_partition(fault.target)  # type: ignore[arg-type]
+        elif fault.kind == "degrade":
+            cluster.world.network.degrade(
+                fault.target, fault.delay, fault.jitter  # type: ignore[arg-type]
+            )
+        elif fault.kind == "restore":
+            cluster.world.network.restore(fault.target)  # type: ignore[arg-type]
         self.fired.append((cluster.world.now, fault.kind, fault.target))
 
 

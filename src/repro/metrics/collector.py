@@ -120,6 +120,38 @@ class MetricsCollector:
             latency=LatencySummary.from_samples([r.latency for r in committed]),
         )
 
+    def goodput_timeline(
+        self, start: float, end: float, bucket: float = 1.0
+    ) -> list[tuple[float, float, float, float]]:
+        """``(bucket_start, committed/s, aborted/s, shed/s)`` per bucket.
+
+        The operator's overload dashboard (§16): *goodput* is the
+        committed rate; sheds — transactions the client abandoned after
+        exhausting ``Busy`` resubmissions (abort reason ``shed (...)``)
+        — are split out from ordinary certification aborts so graceful
+        degradation is visible as explicit refusals, not failures.
+        """
+        if bucket <= 0:
+            raise ValueError("bucket must be positive")
+        num_buckets = max(1, int(round((end - start) / bucket)))
+        committed = [0] * num_buckets
+        aborted = [0] * num_buckets
+        shed = [0] * num_buckets
+        for result in self.results:
+            index = int((result.finished - start) / bucket)
+            if not 0 <= index < num_buckets or result.finished < start:
+                continue
+            if result.committed:
+                committed[index] += 1
+            elif result.abort_reason is not None and result.abort_reason.startswith("shed"):
+                shed[index] += 1
+            else:
+                aborted[index] += 1
+        return [
+            (start + i * bucket, committed[i] / bucket, aborted[i] / bucket, shed[i] / bucket)
+            for i in range(num_buckets)
+        ]
+
     def latency_cdf(
         self,
         start: float,

@@ -67,6 +67,8 @@ class SimNetwork:
         self._handlers: dict[str, Handler] = {}
         self._crashed: set[str] = set()
         self._cut_links: set[frozenset[str]] = set()
+        #: Gray-failed nodes -> (extra delay, jitter) added per message.
+        self._degraded: dict[str, tuple[float, float]] = {}
         # Statistics.
         self.messages_sent = 0
         self.messages_delivered = 0
@@ -101,6 +103,37 @@ class SimNetwork:
     def link_is_cut(self, a: str, b: str) -> bool:
         return frozenset({a, b}) in self._cut_links
 
+    def degrade(self, node_id: str, extra: float, jitter: float = 0.0) -> None:
+        """Gray-fail ``node_id``: messages to or from it take ``extra``
+        additional seconds (plus up to ``jitter`` more, uniform).
+
+        Unlike a crash the node stays up and correct — just slow, the
+        failure mode crash detectors miss (a *slow replica*).
+        """
+        if extra < 0 or jitter < 0:
+            raise ValueError("degrade extra/jitter must be non-negative")
+        self._degraded[node_id] = (extra, jitter)
+        self.tracer.emit(node_id, "net.degrade", extra=extra, jitter=jitter)
+
+    def restore(self, node_id: str) -> None:
+        """Undo :meth:`degrade`; no-op if the node was healthy."""
+        self._degraded.pop(node_id, None)
+        self.tracer.emit(node_id, "net.restore")
+
+    def is_degraded(self, node_id: str) -> bool:
+        return node_id in self._degraded
+
+    def _degrade_penalty(self, src: str, dst: str) -> float:
+        penalty = 0.0
+        for node in (src, dst):
+            spec = self._degraded.get(node)
+            if spec is not None:
+                extra, jitter = spec
+                penalty += extra
+                if jitter:
+                    penalty += jitter * self._rng.random()
+        return penalty
+
     # ------------------------------------------------------------------
     # Sending
     # ------------------------------------------------------------------
@@ -131,6 +164,10 @@ class SimNetwork:
             self.bytes_sent += len(wire)
             payload = decode_message(wire)
         delay = self.latency.sample(src, dst, self._rng)
+        # Self hand-offs skip the penalty: local compute slowness is the
+        # CPU model's job, not the network's.
+        if self._degraded and src != dst:
+            delay += self._degrade_penalty(src, dst)
         # Traced sends take a separate scheduling path so the disabled
         # case costs exactly one extra branch (and zero allocations).
         if self.obs.enabled:

@@ -1,0 +1,34 @@
+"""Overload protection: admission control, backpressure, and shedding.
+
+Production traffic is not steady-state: flash crowds, retry storms, and
+gray failures all push offered load past what a partition can certify
+and apply.  Without protection the server's ingress and stall queues
+grow without bound and every client's latency diverges together.  This
+subsystem puts a **token-bucket admission controller** with **bounded
+queues** in front of :class:`repro.core.server.SdurServer` (queue-based
+load leveling): work beyond the configured rate or depth is refused with
+an explicit :class:`~repro.core.messages.Busy` reply instead of being
+queued, and :class:`repro.core.client.SdurClient` retries with capped
+exponential backoff plus jitter.  Shedding happens strictly *before*
+atomic broadcast, so it never touches the delivery path and cannot
+perturb certification determinism (docs/PROTOCOL.md §16).
+
+The adversarial scenario suite exercising it is experiments O1–O4
+(``python -m repro.experiments O4``).
+"""
+
+from repro.overload.admission import (
+    AdmissionConfig,
+    AdmissionController,
+    AdmissionDecision,
+    TokenBucket,
+)
+from repro.overload.backoff import BackoffPolicy
+
+__all__ = [
+    "AdmissionConfig",
+    "AdmissionController",
+    "AdmissionDecision",
+    "BackoffPolicy",
+    "TokenBucket",
+]

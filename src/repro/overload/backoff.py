@@ -1,0 +1,61 @@
+"""Capped exponential backoff with jitter for client retries.
+
+A retrying client that re-fires on a fixed timer amplifies overload: all
+the clients a shed or a failover synchronized retry in lockstep, the
+spike sheds them again, and the storm sustains itself.  The classic fix
+is exponential growth (each attempt doubles the delay, up to a cap) plus
+jitter (each delay is randomized so synchronized clients decorrelate).
+
+The policy is a pure function of ``(attempt, rng)``; callers pass their
+node's deterministic RNG stream so simulations stay replayable.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """``delay(attempt) = jittered(min(cap, base * multiplier^attempt))``.
+
+    With ``jitter=j`` the delay is drawn uniformly from
+    ``[d*(1-j), d]`` — attempt 0 starts at (jittered) ``base``, and the
+    deterministic upper envelope ``min(cap, base * multiplier**attempt)``
+    makes timing testable under the sim clock.
+    """
+
+    base: float
+    cap: float
+    multiplier: float = 2.0
+    #: Fraction of each delay that is randomized away (0 = deterministic).
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.base <= 0:
+            raise ConfigurationError(f"base must be positive, got {self.base!r}")
+        if self.cap < self.base:
+            raise ConfigurationError("cap must be at least base")
+        if self.multiplier < 1.0:
+            raise ConfigurationError("multiplier must be at least 1")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ConfigurationError(f"jitter must be in [0, 1), got {self.jitter!r}")
+
+    def envelope(self, attempt: int) -> float:
+        """The un-jittered delay for ``attempt`` (0-based): the maximum
+        :meth:`delay` can return and ``1/(1-jitter)`` times its minimum."""
+        if attempt < 0:
+            raise ConfigurationError("attempt must be non-negative")
+        # Compute via min() on the exponent to avoid float overflow on
+        # pathological attempt counts.
+        grown = self.base * self.multiplier ** min(attempt, 64)
+        return min(self.cap, grown)
+
+    def delay(self, attempt: int, rng: random.Random) -> float:
+        envelope = self.envelope(attempt)
+        if not self.jitter:
+            return envelope
+        return envelope * (1.0 - self.jitter * rng.random())

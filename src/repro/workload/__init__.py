@@ -3,6 +3,7 @@
 from repro.workload.base import TxnSpec, Workload
 from repro.workload.distributions import UniformSampler, ZipfSampler
 from repro.workload.microbench import MicroBenchmark
+from repro.workload.overload import ConstantRate, FlashCrowd, HotKeyStorm, LoadShape
 from repro.workload.social import SocialNetworkWorkload, generate_social_data
 
 __all__ = [
@@ -11,6 +12,10 @@ __all__ = [
     "UniformSampler",
     "ZipfSampler",
     "MicroBenchmark",
+    "ConstantRate",
+    "FlashCrowd",
+    "HotKeyStorm",
+    "LoadShape",
     "SocialNetworkWorkload",
     "generate_social_data",
 ]

@@ -24,6 +24,7 @@ from repro.consensus.messages import (
 )
 from repro.core.messages import (
     AbortRequest,
+    Busy,
     CommitGossip,
     CommitRequest,
     GetSnapshotVector,
@@ -112,6 +113,9 @@ SAMPLES = [
         tid=TID, partition="p1", requester="p0", involved=("p0", "p1"), client="c9"
     ),
     ThresholdChange(value=16),
+    # Admission control (docs/PROTOCOL.md §16): shed commit and shed read.
+    Busy(tid=TID, server="s1", reason="rate", retry_after=0.05),
+    Busy(tid=TID, server="s1", reason="queue", retry_after=0.05, op_id=3),
     Vote(tid=TID, partition="p1", vote="abort"),
     # Vote ledger (docs/PROTOCOL.md §14): own verdict and relayed flavor.
     VoteRecord(tid=TID, partition="p0", vote="commit", involved=("p0", "p1")),
