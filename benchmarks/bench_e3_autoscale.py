@@ -1,0 +1,140 @@
+"""Autoscale scenario smoke: downsized E3 drifting-hotspot run.
+
+Runs the autonomous-elasticity scenario (``repro.experiments.autoscale``,
+E3) at reduced length — 8 closed-loop clients driving a zipf hotspot
+that drifts across the keyspace every 12 s while the
+``repro.autoscale`` controller splits and merges partitions on its own —
+and asserts the PR's acceptance gates:
+
+* the controller acts autonomously: at least one split *and* one merge
+  fire without any scheduled fault;
+* the committed history (including merge-install synthetic commits)
+  passes the replica-agreement and serializability checkers;
+* no availability hole: every 1-second goodput bucket stays above zero,
+  and the worst bucket stays above a quarter of the mean.
+
+    PYTHONPATH=src python benchmarks/bench_e3_autoscale.py
+
+writes ``benchmarks/BENCH_autoscale.json`` (committed as the CI
+baseline).
+
+    PYTHONPATH=src python benchmarks/bench_e3_autoscale.py --check PATH
+
+re-runs the scenario and fails (exit 1) if any gate above fails or if
+mean goodput drops below half the committed baseline — the simulation
+is deterministic, so half is a deliberately loose floor that only trips
+on real behavioral regressions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.experiments import autoscale  # noqa: E402
+
+BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_autoscale.json"
+
+#: Long enough for the first split (~t=2.5s), the hotspot's first jump
+#: (t=12s), the second split, and the cooled child's merge (~t=20.5s).
+RUN_FOR = 24.0
+
+
+def run_once() -> dict:
+    result = autoscale.e3_once(clients=8, run_for=RUN_FOR)
+    events = "; ".join(
+        f"t={t}s {action} {partition}" + (f"->{into}" if into else "")
+        for t, action, partition, into in result["events"]
+    )
+    print(
+        f"splits={result['splits_triggered']}  "
+        f"merges={result['merges_triggered']}  "
+        f"goodput mean={result['mean_goodput_tps']} tps "
+        f"min={result['min_goodput_tps']} tps  "
+        f"serializable={result['serializable']}  "
+        f"agreement={result['replica_agreement']}"
+    )
+    print(f"decisions: {events or 'none'}")
+    return result
+
+
+def gate_failures(result: dict, baseline: dict | None = None) -> list[str]:
+    failures = []
+    if result["splits_triggered"] < 1:
+        failures.append("controller never split a partition")
+    if result["merges_triggered"] < 1:
+        failures.append("controller never merged a partition")
+    if not result["serializable"]:
+        failures.append("history is not serializable")
+    if not result["replica_agreement"]:
+        failures.append("replica histories diverged")
+    if result["min_goodput_tps"] <= 0:
+        failures.append("a 1s goodput bucket hit zero: reconfiguration availability hole")
+    if result["min_goodput_tps"] < 0.25 * result["mean_goodput_tps"]:
+        failures.append(
+            f"worst goodput bucket {result['min_goodput_tps']} tps is below a "
+            f"quarter of the {result['mean_goodput_tps']} tps mean"
+        )
+    if baseline is not None:
+        floor = baseline["mean_goodput_tps"] / 2.0
+        if result["mean_goodput_tps"] < floor:
+            failures.append(
+                f"mean goodput {result['mean_goodput_tps']} tps regressed >2x "
+                f"below the committed baseline {baseline['mean_goodput_tps']} tps"
+            )
+    return failures
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check",
+        metavar="PATH",
+        help="compare a re-run against a committed baseline JSON",
+    )
+    parser.add_argument(
+        "--out",
+        default=str(BASELINE_PATH),
+        help="baseline output path (default: benchmarks/BENCH_autoscale.json)",
+    )
+    args = parser.parse_args()
+
+    result = run_once()
+    baseline = None
+    if args.check:
+        baseline = json.loads(Path(args.check).read_text())["result"]
+    failures = gate_failures(result, baseline)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if failures:
+        return 1
+
+    if args.check:
+        print("scenario smoke OK: split+merge fired, checkers green, goodput held")
+        return 0
+
+    payload = {
+        "benchmark": "E3 drifting-hotspot autoscale (downsized)",
+        "control": {
+            "interval": autoscale.CONTROL.interval,
+            "capacity": autoscale.CONTROL.capacity,
+            "high_water": autoscale.CONTROL.high_water,
+            "low_water": autoscale.CONTROL.low_water,
+            "sustain": autoscale.CONTROL.sustain,
+            "cooldown": autoscale.CONTROL.cooldown,
+            "min_partitions": autoscale.CONTROL.min_partitions,
+            "max_partitions": autoscale.CONTROL.max_partitions,
+        },
+        "result": result,
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"baseline written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

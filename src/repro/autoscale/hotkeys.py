@@ -1,0 +1,75 @@
+"""Space-saving top-k hot-key tracking (Metwally et al., ICDT 2005).
+
+The autoscale monitor wants to know *which* keys make a partition hot,
+not exact per-key counts — a handful of counters suffices.  The
+space-saving sketch keeps at most ``capacity`` (key, count) pairs; when
+a new key arrives at a full sketch it evicts the minimum-count entry and
+inherits its count, recording that inherited amount as the new entry's
+error bound.  Guarantees: every key with true frequency above
+``total / capacity`` is present, and each reported count overestimates
+the true one by at most the recorded error.
+
+One tracker is attached per server (``SdurServer.hot_keys``) and fed one
+observation per committed write key; the :class:`~repro.autoscale.monitor.LoadMonitor`
+aggregates across a partition's replicas.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+
+class SpaceSavingTracker:
+    """Bounded-memory frequent-items sketch over a key stream."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ConfigurationError("tracker capacity must be positive")
+        self.capacity = capacity
+        #: key -> (over)estimated count.
+        self._counts: dict[str, int] = {}
+        #: key -> count inherited at admission (the overestimate bound).
+        self._errors: dict[str, int] = {}
+        #: Total observations ever fed (for frequency thresholds).
+        self.total = 0
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def observe(self, key: str, weight: int = 1) -> None:
+        """Count one occurrence of ``key`` (``weight`` of them)."""
+        self.total += weight
+        counts = self._counts
+        if key in counts:
+            counts[key] += weight
+            return
+        if len(counts) < self.capacity:
+            counts[key] = weight
+            self._errors[key] = 0
+            return
+        # Evict the minimum-count entry (ties broken by key, so replay
+        # of the same stream reproduces the same sketch) and inherit
+        # its count as this key's error bound.
+        victim = min(counts, key=lambda k: (counts[k], k))
+        floor = counts.pop(victim)
+        self._errors.pop(victim)
+        counts[key] = floor + weight
+        self._errors[key] = floor
+
+    def top(self, k: int | None = None) -> list[tuple[str, int, int]]:
+        """The ``k`` heaviest keys as ``(key, count, error)``, descending.
+
+        ``count - error`` is a guaranteed lower bound on the true
+        frequency.
+        """
+        ranked = sorted(
+            self._counts, key=lambda key: (-self._counts[key], key)
+        )
+        if k is not None:
+            ranked = ranked[:k]
+        return [(key, self._counts[key], self._errors[key]) for key in ranked]
+
+    def merged_into(self, other: "SpaceSavingTracker") -> None:
+        """Fold this sketch's entries into ``other`` (replica aggregation)."""
+        for key, count, _error in self.top():
+            other.observe(key, count)

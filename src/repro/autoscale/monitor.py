@@ -1,0 +1,106 @@
+"""Load monitoring: per-partition pressure signals for the scale policy.
+
+The monitor samples every server's counters (certification throughput,
+delivery backlog, admission shedding) on the controller's tick, converts
+them to rates, averages across a partition's replicas — every replica
+certifies every transaction of its partition, so replica rates are
+estimates of the same quantity, not shares of it — and smooths the
+combined *pressure* signal with an EWMA so one bursty sample cannot
+trigger a migration.  Hot keys come from the per-server space-saving
+sketches (:mod:`repro.autoscale.hotkeys`), summed across replicas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.autoscale.config import AutoscaleConfig
+from repro.autoscale.hotkeys import SpaceSavingTracker
+
+if TYPE_CHECKING:
+    from repro.harness.cluster import SdurCluster
+
+
+@dataclass(frozen=True)
+class PartitionLoad:
+    """One partition's smoothed load signals at a sample instant."""
+
+    partition: str
+    #: Certified transactions/second (committed + aborted; aborts cost
+    #: the same certification work).
+    throughput: float
+    #: Mean delivery backlog across replicas (stalled + pending).
+    queue_depth: float
+    #: Shed commit requests/second (admission pushback already firing).
+    shed_rate: float
+    #: EWMA-smoothed scalar the policy thresholds against.
+    pressure: float
+
+
+class LoadMonitor:
+    """Turns raw server counters into per-partition pressure signals."""
+
+    def __init__(self, cluster: "SdurCluster", config: AutoscaleConfig) -> None:
+        self.cluster = cluster
+        self.config = config
+        #: node -> (sample time, certified total, shed total).
+        self._last: dict[str, tuple[float, int, int]] = {}
+        #: partition -> smoothed pressure.
+        self._ewma: dict[str, float] = {}
+
+    def sample(self, now: float) -> dict[str, PartitionLoad]:
+        """One monitoring pass over every active partition."""
+        per_partition: dict[str, list[tuple[float, float, int]]] = {}
+        for node_id, handle in self.cluster.servers.items():
+            stats = handle.server.stats
+            certified = stats.committed + stats.aborted
+            previous = self._last.get(node_id)
+            self._last[node_id] = (now, certified, stats.shed_total)
+            if previous is None:
+                continue  # first sighting: no rate yet
+            then, last_certified, last_shed = previous
+            elapsed = now - then
+            if elapsed <= 0:
+                continue
+            rate = (certified - last_certified) / elapsed
+            shed = (stats.shed_total - last_shed) / elapsed
+            per_partition.setdefault(handle.partition, []).append(
+                (rate, shed, stats.queue_depth)
+            )
+        loads: dict[str, PartitionLoad] = {}
+        alpha = self.config.ewma_alpha
+        for partition in self.cluster.routing.active_partitions():
+            samples = per_partition.get(partition)
+            if not samples:
+                continue
+            throughput = sum(s[0] for s in samples) / len(samples)
+            shed_rate = sum(s[1] for s in samples) / len(samples)
+            queue_depth = sum(s[2] for s in samples) / len(samples)
+            raw = throughput + self.config.queue_weight * queue_depth
+            smoothed = self._ewma.get(partition)
+            smoothed = raw if smoothed is None else alpha * raw + (1 - alpha) * smoothed
+            self._ewma[partition] = smoothed
+            loads[partition] = PartitionLoad(
+                partition=partition,
+                throughput=throughput,
+                queue_depth=queue_depth,
+                shed_rate=shed_rate,
+                pressure=smoothed,
+            )
+        return loads
+
+    def forget(self, partition: str) -> None:
+        """Drop smoothing state for a retired partition."""
+        self._ewma.pop(partition, None)
+
+    def hot_keys(self, partition: str, k: int | None = None) -> list[tuple[str, int]]:
+        """The partition's heaviest write keys, replica sketches summed."""
+        combined = SpaceSavingTracker(self.config.hotkey_capacity)
+        for handle in self.cluster.servers.values():
+            if handle.partition != partition:
+                continue
+            tracker = handle.server.hot_keys
+            if tracker is not None:
+                tracker.merged_into(combined)
+        return [(key, count) for key, count, _error in combined.top(k)]

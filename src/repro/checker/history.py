@@ -18,6 +18,14 @@ from repro.core.transaction import TxnId, TxnProjection
 from repro.errors import ProtocolError
 
 
+@dataclass(frozen=True)
+class _SyntheticWrite:
+    """Stands in for a :class:`TxnProjection` in merge-install records."""
+
+    ws_keys: frozenset[str]
+    partitions: tuple[str, ...]
+
+
 @dataclass
 class CommitPoint:
     """Where one transaction committed in one partition."""
@@ -54,6 +62,27 @@ class HistoryRecorder:
 
         def hook(tid: TxnId, partition: str, version: int, proj: TxnProjection) -> None:
             self.on_commit(node_id, tid, partition, version, proj)
+
+        return hook
+
+    def merge_hook(self, node_id: str):
+        """A per-server ``on_merge_hook`` bound to ``node_id``.
+
+        A merge install applies the absorbed partition's flattened state
+        as one synthetic commit (docs/PROTOCOL.md §17).  Recording it as
+        a virtual writer keeps the serialization graph sound: reads of
+        absorbed keys at or after the merge version read-from this node,
+        and the absorbed partition's last writers WW-precede it.
+        """
+
+        def hook(partition: str, version: int, keys: frozenset[str]) -> None:
+            self.on_commit(
+                node_id,
+                f"merge:{partition}@{version}",
+                partition,
+                version,
+                _SyntheticWrite(ws_keys=frozenset(keys), partitions=(partition,)),
+            )
 
         return hook
 

@@ -137,6 +137,13 @@ class SdurConfig:
     #: when GC runs; older snapshot reads abort with "snapshot too old".
     store_gc_keep: int = 10_000
 
+    # -- Reconfiguration (docs/PROTOCOL.md §13, §17) ----------------------
+    #: While a delivered transaction is stalled because it carries an
+    #: epoch this replica has not learned yet, pull the change log from
+    #: peers at this period (the push of the ``ConfigSnapshot`` may have
+    #: been lost).  ``None`` disables the backstop.
+    config_catchup_interval: float | None = 0.25
+
     # -- Admission control (docs/PROTOCOL.md §16) -------------------------
     #: Token-bucket admission + bounded ingress/stall queues in front of
     #: the server; overload is refused with explicit ``Busy`` replies.

@@ -76,7 +76,7 @@ from repro.reconfig.messages import (
     InstallMigration,
     StaleEpochNotice,
 )
-from repro.reconfig.migration import SplitSource, moved_chains
+from repro.reconfig.migration import SplitSource, flatten_chains, moved_chains
 from repro.runtime.base import Runtime
 from repro.storage.mvstore import MultiVersionStore
 from repro.termination import VoteLedger, VoteRecord
@@ -133,6 +133,9 @@ class ServerStats:
         #: High-water mark of the stall queue alone (the §16 bound's
         #: second component; unbounded growth here was the pre-§16 bug).
         self.stall_depth_max = 0
+        #: Write-key observations fed to the hot-key tracker; stays 0
+        #: unless the harness attaches one (docs/PROTOCOL.md §17).
+        self.hotkey_updates = 0
 
     @property
     def committed(self) -> int:
@@ -249,6 +252,16 @@ class SdurServer:
         #: Optional hook ``(tid, partition, version, proj)`` called on every
         #: local commit; the history checker uses it.
         self.on_commit_hook: Callable[[TxnId, str, int, TxnProjection], None] | None = None
+        #: Optional space-saving top-k tracker (repro.autoscale.hotkeys),
+        #: attached by the harness when autoscale is on; fed one
+        #: observation per committed write key.
+        self.hot_keys: Any | None = None
+        #: Optional hook ``(partition, version, keys)`` fired when a merge
+        #: install applies the absorbed state as one synthetic commit;
+        #: the history checker records it as a virtual writer.
+        self.on_merge_hook: Callable[[str, int, frozenset[str]], None] | None = None
+        #: Epoch catch-up backstop armed (see _maybe_arm_config_catchup).
+        self._catchup_armed = False
         #: Called with the first uncovered instance after each checkpoint
         #: (the harness wires it to the Paxos replica's WAL compaction).
         self.checkpoint_hook: Callable[[int], None] | None = None
@@ -423,7 +436,7 @@ class SdurServer:
     # ------------------------------------------------------------------
     def _on_read(self, src: str, msg: ReadRequest) -> None:
         key_partition = self.partition_map.partition_of(msg.key)
-        if key_partition != self.partition:
+        if key_partition != self.partition and not self._retiring_owner_of(msg.key):
             # Prototype routing (§V): forward to the nearest replica of the
             # right partition; it replies directly to the client.
             self.stats.reads_routed += 1
@@ -441,6 +454,22 @@ class SdurServer:
                 self._send_busy(msg.reply_to, msg.tid, decision, op_id=msg.op_id)
                 return
         self.runtime.execute(self.config.costs.read, lambda: self._serve_read(msg))
+
+    def _retiring_owner_of(self, key: str) -> bool:
+        """Is this a merging-away replica that still holds ``key``?
+
+        Between ``BeginSplit`` and ``FinishSplit`` of a merge the key
+        routes to the absorbing partition, which may not have installed
+        the state yet; forwarding there would ping-pong the read back.
+        The chains are still here — serve locally until eviction.
+        """
+        migration = self._migration
+        return (
+            migration is not None
+            and migration.change.is_merge
+            and migration.retiring_map is not None
+            and migration.retiring_map.partition_of(key) == self.partition
+        )
 
     def _serve_read(self, msg: ReadRequest) -> None:
         snapshot = msg.snapshot if msg.snapshot is not None else self.sc
@@ -573,10 +602,28 @@ class SdurServer:
         every transaction until its migrated state is installed — the
         gate clears at the ``InstallMigration`` delivery, the same log
         position at every replica.
+
+        A projection carrying an epoch this replica has not learned yet
+        stalls too.  The certification window must reflect every change
+        the epoch implies *before* the transaction is checked — the
+        sharp case is a merge: an epoch-N transaction writing absorbed
+        keys must not commit at the absorbing partition before the
+        merged state is installed, or the install would bury its writes.
+        The stall is FIFO (log order preserved) and cannot deadlock: an
+        affected partition's own change sits *earlier* in its log than
+        any projection carrying the new epoch (clients learn the epoch
+        only after the change was delivered somewhere), an absorbing
+        partition's gap is cleared by ``InstallMigration`` which
+        bypasses this queue, and unaffected replicas learn pushed
+        changes out of band (with a pull backstop if the push was lost).
         """
         if not isinstance(value, TxnProjection):
             return False
-        return self._migration_pending or value.snapshot > self.sc
+        return (
+            self._migration_pending
+            or value.epoch > self.routing.epoch
+            or value.snapshot > self.sc
+        )
 
     def _ingest(self, value: Any) -> None:
         if isinstance(value, InstallMigration):
@@ -590,6 +637,7 @@ class SdurServer:
             if len(self._stalled) > self.stats.stall_depth_max:
                 self.stats.stall_depth_max = len(self._stalled)
             self._queue_depth()
+            self._maybe_arm_config_catchup()
             return
         self._process_value(value)
         self._pump()
@@ -621,6 +669,7 @@ class SdurServer:
             if self._applying or not self._stalled:
                 return
             if self._gate_blocks(self._stalled[0]):
+                self._maybe_arm_config_catchup()
                 return
             self._process_value(self._stalled.popleft())
 
@@ -1073,6 +1122,10 @@ class SdurServer:
             )
             if self.on_commit_hook is not None:
                 self.on_commit_hook(proj.tid, self.partition, version, proj)
+            if self.hot_keys is not None and proj.ws_keys:
+                for key in proj.ws_keys:
+                    self.hot_keys.observe(key)
+                self.stats.hotkey_updates += len(proj.ws_keys)
             if proj.is_global:
                 self.stats.committed_global += 1
             else:
@@ -1251,25 +1304,31 @@ class SdurServer:
         pending list at this position has completed.
         """
         change = msg.change
+        pre_map = self.routing.partition_map
         if not self.routing.apply(change):
             return  # duplicate proposal of an already-applied change
         self._on_config_advanced(change)
         self._migration = SplitSource(
-            change=change, barrier={entry.tid for entry in self.pending}
+            change=change,
+            barrier={entry.tid for entry in self.pending},
+            retiring_map=pre_map if change.is_merge else None,
         )
         self.runtime.trace(
-            "sdur.begin_split",
+            "sdur.begin_merge" if change.is_merge else "sdur.begin_split",
             epoch=change.new_epoch,
             new_partition=change.new_partition,
             barrier=len(self._migration.barrier),
         )
         # Push the new directory to every server of the other partitions
         # (idempotent at receivers).  The new partition's members were
-        # constructed with it.
+        # constructed with it; a merge's absorbing replicas instead apply
+        # the change at their own InstallMigration log position.
         snapshot = ConfigSnapshot(
             epoch=self.routing.epoch, changes=tuple(self.routing.changes)
         )
         skip = set(self.directory.servers_of(self.partition)) | set(change.new_members)
+        if change.is_merge:
+            skip |= set(self.directory.servers_of(change.new_partition))
         for server in self.directory.all_servers():
             if server not in skip:
                 self.runtime.send(server, snapshot)
@@ -1298,6 +1357,15 @@ class SdurServer:
             "sdur.capture_migration", keys=len(chains), source_sc=self.sc
         )
         if self.is_partition_leader():
+            prior = (
+                tuple(
+                    c
+                    for c in self.routing.changes
+                    if c.new_epoch < migration.change.new_epoch
+                )
+                if migration.change.is_merge
+                else ()
+            )
             self.fabric.abcast(
                 migration.change.new_partition,
                 InstallMigration(
@@ -1305,6 +1373,7 @@ class SdurServer:
                     chains=chains,
                     source_sc=self.sc,
                     gc_horizon=self.store.gc_horizon,
+                    prior_changes=prior,
                 ),
             )
 
@@ -1316,6 +1385,9 @@ class SdurServer:
         migration aborts conservatively (its reads were served by the
         source, whose commits this window never saw).
         """
+        if msg.change.is_merge:
+            self._deliver_install_merge(msg)
+            return
         if not self._migration_pending:
             return  # duplicate delivery
         self.store.restore(
@@ -1339,6 +1411,49 @@ class SdurServer:
         if self.is_partition_leader():
             self.fabric.abcast(msg.change.source, FinishSplit(change=msg.change))
 
+    def _deliver_install_merge(self, msg: InstallMigration) -> None:
+        """Absorbing-partition replicas fold in the absorbed keyspace.
+
+        This log position is where absorbing replicas apply the merge
+        change itself — their epoch bump happens at the same point in
+        their own delivery sequence, exactly like a split source's bump
+        at ``BeginSplit`` (docs/PROTOCOL.md §17).
+
+        The absorbed partition's commit versions come from a different
+        snapshot-counter sequence, so the chains cannot be installed
+        verbatim: each is flattened to its latest value and the whole
+        batch applies as one synthetic commit above *both* counters.
+        The gc horizon rises to that version — a snapshot predating the
+        merge aborts conservatively rather than reading absorbed keys as
+        absent — and the certification window floors there for the same
+        reason the split install's does.
+        """
+        for change in sorted(msg.prior_changes, key=lambda c: c.new_epoch):
+            if change.new_epoch >= msg.change.new_epoch:
+                continue
+            if self.routing.apply(change):
+                self._on_config_advanced(change)
+        if not self.routing.apply(msg.change):
+            return  # duplicate delivery
+        version = max(self.sc, msg.source_sc) + 1
+        self.store.apply(flatten_chains(msg.chains), version)
+        self.store.collect_garbage(version)
+        if self.on_merge_hook is not None:
+            self.on_merge_hook(self.partition, version, frozenset(msg.chains))
+        self.window = CertificationWindow(self.config.history_window, floor=version)
+        self._attach_certifier()
+        self.snapshot_builder.absorb_migration(version)
+        self.runtime.trace(
+            "sdur.install_merge",
+            keys=len(msg.chains),
+            version=version,
+            absorbed=msg.change.source,
+        )
+        self._on_config_advanced(msg.change)
+        self._drain_waiting_reads()
+        if self.is_partition_leader():
+            self.fabric.abcast(msg.change.source, FinishSplit(change=msg.change))
+
     def _deliver_finish_split(self, msg: FinishSplit) -> None:
         """Source replicas evict the migrated chains (now owned elsewhere)."""
         migration = self._migration
@@ -1346,7 +1461,13 @@ class SdurServer:
             return  # duplicate or stale
         dropped = self.store.evict_keys(migration.moved_keys)
         self._migration = None
-        self.runtime.trace("sdur.finish_split", evicted=dropped)
+        if migration.change.is_merge:
+            # Everything is gone; reads parked here now forward to the
+            # absorbing partition, which has installed the state.
+            self._requeue_waiting_reads()
+            self.runtime.trace("sdur.finish_merge", evicted=dropped)
+        else:
+            self.runtime.trace("sdur.finish_split", evicted=dropped)
 
     def _on_config_snapshot(self, msg: ConfigSnapshot) -> None:
         """Directory changes learned outside our own log (gossip/push).
@@ -1354,20 +1475,41 @@ class SdurServer:
         Safe for unaffected partitions: their ownership epoch is
         untouched, so certification verdicts cannot change — only
         routing metadata (vote fan-out, read forwarding) improves.
+
+        A change affecting *this* partition is never applied here: the
+        source side switches at its ``BeginSplit`` log position, a merge
+        target at its ``InstallMigration`` position.  Applying early
+        would fork the barrier computation (or the install point) across
+        replicas of the same partition.  The loop breaks instead of
+        skipping — later changes would leave an epoch gap.
         """
         for change in sorted(msg.changes, key=lambda c: c.new_epoch):
+            if change.new_epoch <= self.routing.epoch:
+                continue
+            if change.source == self.partition or (
+                change.is_merge and change.new_partition == self.partition
+            ):
+                break
             if self.routing.apply(change):
                 self._on_config_advanced(change)
                 self.runtime.trace(
                     "sdur.config_learned", epoch=change.new_epoch
                 )
+        # Learned epochs may unblock the stall queue's head.
+        self._pump()
 
     def _on_config_advanced(self, change: Any) -> None:
-        """Housekeeping common to every newly applied directory change."""
-        self.fabric.add_group(
-            change.new_partition, list(change.new_members), change.new_preferred
-        )
-        self.snapshot_builder.add_partition(change.new_partition)
+        """Housekeeping common to every newly applied directory change.
+
+        A merge creates no partition: there is no group to join and no
+        snapshot-vector column to add (the directory keeps the absorbed
+        partition addressable for in-flight votes).
+        """
+        if not change.is_merge:
+            self.fabric.add_group(
+                change.new_partition, list(change.new_members), change.new_preferred
+            )
+            self.snapshot_builder.add_partition(change.new_partition)
         self._flush_deferred_votes()
         self._flush_premature_requests()
 
@@ -1397,6 +1539,40 @@ class SdurServer:
         self._waiting_reads = []
         for _snapshot, reply_to, read in waiting:
             self._on_read(reply_to, read)
+
+    def _epoch_gated(self, value: Any) -> bool:
+        return isinstance(value, TxnProjection) and value.epoch > self.routing.epoch
+
+    def _maybe_arm_config_catchup(self) -> None:
+        """Pull missing directory changes while the stall head waits.
+
+        Normally the change arrives as a pushed ``ConfigSnapshot`` (or,
+        for an absorbing partition, as its own ``InstallMigration``);
+        this timer is the liveness backstop when the push was lost.
+        """
+        if (
+            self._catchup_armed
+            or self.config.config_catchup_interval is None
+            or not self._stalled
+            or not self._epoch_gated(self._stalled[0])
+        ):
+            return
+        self._catchup_armed = True
+        self.runtime.set_timer(
+            self.config.config_catchup_interval, self._config_catchup_tick
+        )
+
+    def _config_catchup_tick(self) -> None:
+        self._catchup_armed = False
+        if not self._stalled or not self._epoch_gated(self._stalled[0]):
+            return
+        request = GetConfig(reply_to=self.node_id, since_epoch=self.routing.epoch)
+        own = set(self.directory.servers_of(self.partition))
+        for server in self.directory.all_servers():
+            if server not in own:
+                self.runtime.send(server, request)
+        self.runtime.trace("sdur.config_catchup", epoch=self.routing.epoch)
+        self._maybe_arm_config_catchup()
 
     # ------------------------------------------------------------------
     # Recovery: abort requests (§IV-F)

@@ -36,6 +36,7 @@ from repro.experiments import (
     ablation_threshold,
     ablation_vote_ledger,
     aborts,
+    autoscale,
     fig1_model,
     fig2_baseline,
     fig3_delaying,
@@ -68,6 +69,7 @@ REGISTRY: dict[str, tuple[str, Callable[[bool], ExperimentTable]]] = {
     "A7": ("Key-indexed vs scan certification", lambda q: ablation_certindex.run(quick=q)),
     "E1": ("Availability under leader failover", lambda q: ext_failover.run(quick=q)),
     "E2": ("Live partition split under load", lambda q: reconfig.run(quick=q)),
+    "E3": ("Autonomous elasticity (autoscale)", lambda q: autoscale.run(quick=q)),
     "O1": ("Flash crowd with hot-key storm", lambda q: overload.run_o1(quick=q)),
     "O2": ("Region loss and recovery under load", lambda q: overload.run_o2(quick=q)),
     "O3": ("Slow-replica gray failure", lambda q: overload.run_o3(quick=q)),

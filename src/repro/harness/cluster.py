@@ -27,7 +27,7 @@ from repro.errors import ConfigurationError
 from repro.geo.deployments import Deployment
 from repro.net.topology import NodeSpec
 from repro.obs.recorder import ObsRecorder, SpanRecorder
-from repro.reconfig.coordinator import plan_split
+from repro.reconfig.coordinator import plan_merge, plan_split
 from repro.reconfig.epochs import ConfigChange, VersionedRouting
 from repro.reconfig.messages import BeginSplit
 from repro.runtime.sim import SimWorld
@@ -63,6 +63,9 @@ class SdurCluster:
         self.servers: dict[str, ServerHandle] = {}
         self.clients: dict[str, SdurClient] = {}
         self.recorder: HistoryRecorder | None = None
+        #: Autoscale controller (repro.autoscale), armed via
+        #: :meth:`enable_autoscale`; ``None`` = manual scaling only.
+        self.autoscale: Any | None = None
         self._started = False
 
     @property
@@ -247,6 +250,7 @@ class SdurCluster:
             handle.server.await_migration()
             if self.recorder is not None:
                 handle.server.on_commit_hook = self.recorder.server_hook(node_id)
+                handle.server.on_merge_hook = self.recorder.merge_hook(node_id)
             if self._started:
                 handle.replica.start()
                 handle.server.start()
@@ -257,6 +261,41 @@ class SdurCluster:
         kicker.fabric.abcast(source, BeginSplit(change=change))
         return change
 
+    def merge_partitions(self, absorbed: str, into: str) -> ConfigChange:
+        """Absorb partition ``absorbed`` into ``into``, live.
+
+        The reverse of :meth:`split_partition`, run on the same
+        three-phase protocol (docs/PROTOCOL.md §17): ``BeginSplit`` is
+        ordered through the *absorbed* partition's log (freezing its
+        keyspace behind the write barrier), its flattened store ships as
+        ``InstallMigration`` through the absorbing partition's log, and
+        ``FinishSplit`` retires the absorbed replicas.  No servers are
+        removed — the directory keeps the absorbed partition addressable
+        so in-flight global transactions can still collect its votes.
+        """
+        change = plan_merge(self.routing, absorbed, into)
+        self.routing.apply(change)
+        absorbed_members = self.routing.directory.servers_of(absorbed)
+        kicker = self.servers[absorbed_members[0]].server
+        kicker.fabric.abcast(absorbed, BeginSplit(change=change))
+        return change
+
+    def enable_autoscale(self, config: Any | None = None) -> Any:
+        """Arm the :mod:`repro.autoscale` control loop on this cluster.
+
+        Attaches a hot-key tracker to every server, starts the periodic
+        monitor/policy tick, and lets the controller actuate
+        :meth:`split_partition` / :meth:`merge_partitions` autonomously.
+        Idempotent; returns the controller.
+        """
+        if self.autoscale is not None:
+            return self.autoscale
+        from repro.autoscale import AutoscaleConfig, AutoscaleController
+
+        self.autoscale = AutoscaleController(self, config or AutoscaleConfig())
+        self.autoscale.arm()
+        return self.autoscale
+
     # ------------------------------------------------------------------
     # Instrumentation and fault injection
     # ------------------------------------------------------------------
@@ -266,6 +305,7 @@ class SdurCluster:
         self.recorder = recorder
         for handle in self.servers.values():
             handle.server.on_commit_hook = recorder.server_hook(handle.node_id)
+            handle.server.on_merge_hook = recorder.merge_hook(handle.node_id)
         return recorder
 
     def crash_server(self, node_id: str) -> None:
@@ -297,7 +337,10 @@ class SdurCluster:
                 "queue_depth": stats.queue_depth,
                 "queue_depth_max": stats.queue_depth_max,
                 "stall_depth_max": stats.stall_depth_max,
+                "hotkey_updates": stats.hotkey_updates,
             }
+        if self.autoscale is not None:
+            out["autoscale"] = self.autoscale.counters()
         return out
 
 

@@ -1,4 +1,5 @@
-"""Elastic repartitioning: live partition splits with epoch-versioned routing.
+"""Elastic repartitioning: live partition splits and merges with
+epoch-versioned routing.
 
 SDUR's throughput grows with the partition count, but the seed system
 fixed that count at deployment time.  This package makes the directory a
@@ -12,19 +13,20 @@ Modules:
 
 * :mod:`repro.reconfig.epochs` — :class:`ConfigChange` and the
   per-process :class:`VersionedRouting` view (directory + partition map
-  + ownership epochs).
-* :mod:`repro.reconfig.routing` — :class:`SplitPartitionMap`, the
-  key-level routing overlay that sends half a partition's keyspace to
-  the new partition.
+  + ownership epochs + retired partitions).
+* :mod:`repro.reconfig.routing` — :class:`SplitPartitionMap` and
+  :class:`MergePartitionMap`, the key-level routing overlays that move a
+  keyspace half to a new partition or fold it back.
 * :mod:`repro.reconfig.messages` — the wire protocol (``BeginSplit``,
-  ``InstallMigration``, ``FinishSplit``, ``StaleEpochNotice``, …).
-* :mod:`repro.reconfig.migration` — source-side split state: the write
-  barrier and the captured key-range snapshot.
+  ``InstallMigration``, ``FinishSplit``, ``StaleEpochNotice``, …),
+  shared by splits and merges via ``ConfigChange.kind``.
+* :mod:`repro.reconfig.migration` — source-side migration state: the
+  write barrier and the captured key-range snapshot.
 * :mod:`repro.reconfig.coordinator` — planning helpers that allocate
   partition/server names and build a :class:`ConfigChange`.
 """
 
-from repro.reconfig.coordinator import plan_split
+from repro.reconfig.coordinator import plan_merge, plan_split
 from repro.reconfig.epochs import ConfigChange, VersionedRouting, directory_with_split
 from repro.reconfig.messages import (
     BeginSplit,
@@ -34,8 +36,8 @@ from repro.reconfig.messages import (
     InstallMigration,
     StaleEpochNotice,
 )
-from repro.reconfig.migration import SplitSource, moved_chains
-from repro.reconfig.routing import SplitPartitionMap, key_moves
+from repro.reconfig.migration import SplitSource, flatten_chains, moved_chains
+from repro.reconfig.routing import MergePartitionMap, SplitPartitionMap, key_moves
 
 __all__ = [
     "BeginSplit",
@@ -44,12 +46,15 @@ __all__ = [
     "FinishSplit",
     "GetConfig",
     "InstallMigration",
+    "MergePartitionMap",
     "SplitPartitionMap",
     "SplitSource",
     "StaleEpochNotice",
     "VersionedRouting",
     "directory_with_split",
+    "flatten_chains",
     "key_moves",
     "moved_chains",
+    "plan_merge",
     "plan_split",
 ]

@@ -1,9 +1,9 @@
-"""Split planning: allocate names and build the :class:`ConfigChange`.
+"""Split and merge planning: allocate names and build the :class:`ConfigChange`.
 
-Pure bookkeeping — no protocol.  The harness (or an operator tool) calls
-:func:`plan_split` against its current routing view, registers the new
-server nodes in the topology, and abcasts a ``BeginSplit`` carrying the
-returned change into the source partition's log.
+Pure bookkeeping — no protocol.  The harness (or the autoscale
+controller) calls :func:`plan_split` or :func:`plan_merge` against its
+current routing view and abcasts a ``BeginSplit`` carrying the returned
+change into the source (for merges: the absorbed) partition's log.
 """
 
 from __future__ import annotations
@@ -49,6 +49,8 @@ def plan_split(
     """
     if not routing.knows_partition(source):
         raise ConfigurationError(f"cannot split unknown partition {source!r}")
+    if source in routing.retired:
+        raise ConfigurationError(f"cannot split retired partition {source!r}")
     if new_members is None:
         want = replicas or len(routing.directory.servers_of(source))
         new_members = tuple(allocate_server_names(routing.directory, want))
@@ -62,4 +64,30 @@ def plan_split(
         new_members=tuple(new_members),
         new_preferred=new_preferred or new_members[0],
         split_salt=salt or f"split-e{new_epoch}-{source}",
+    )
+
+
+def plan_merge(routing: VersionedRouting, absorbed: str, into: str) -> ConfigChange:
+    """Build the next epoch's change absorbing ``absorbed`` into ``into``.
+
+    The merge reuses the split's field layout (``source`` = the retiring
+    partition, ``new_partition`` = the surviving one); no servers are
+    allocated — the absorbing partition's existing group takes over the
+    key range.
+    """
+    for partition in (absorbed, into):
+        if not routing.knows_partition(partition):
+            raise ConfigurationError(f"cannot merge unknown partition {partition!r}")
+        if partition in routing.retired:
+            raise ConfigurationError(f"cannot merge retired partition {partition!r}")
+    if absorbed == into:
+        raise ConfigurationError(f"cannot merge {absorbed!r} into itself")
+    return ConfigChange(
+        new_epoch=routing.epoch + 1,
+        source=absorbed,
+        new_partition=into,
+        new_members=(),
+        new_preferred="",
+        split_salt="",
+        kind="merge",
     )

@@ -3,19 +3,29 @@
 The cluster configuration (which partitions exist, who replicates them,
 where keys live) is versioned by a monotonically increasing *epoch*.
 Epoch ``e`` becomes ``e+1`` by applying exactly one :class:`ConfigChange`
-— currently always a partition split.  The change is itself a value
-ordered through the source partition's atomic broadcast (a ``BeginSplit``
-carrying it), so every replica of the affected partitions switches
-epochs at the same log position.  Unaffected partitions and clients
-learn the change asynchronously (``ConfigSnapshot`` push / pull); for
-them the switch point does not matter because their *ownership epoch*
-(see below) is unchanged.
+— a partition split (``kind="split"``) or a partition merge
+(``kind="merge"``).  The change is itself a value ordered through the
+affected partitions' atomic broadcasts (a ``BeginSplit`` carrying it),
+so every replica of the affected partitions switches epochs at the same
+log position.  Unaffected partitions and clients learn the change
+asynchronously (``ConfigSnapshot`` push / pull); for them the switch
+point does not matter because their *ownership epoch* (see below) is
+unchanged.
+
+A merge reuses the split's field layout with the roles reversed:
+``source`` is the partition being *absorbed* (retired) and
+``new_partition`` is the surviving partition absorbing its keys.  The
+directory is deliberately left unchanged by a merge — the retired
+partition's replicas stay addressable so votes for its in-flight global
+transactions keep flowing — only the key routing, the ownership epochs,
+and the :attr:`VersionedRouting.retired` set change.
 
 Determinism invariant (§IV-G of the paper, extended): a server's
 ``ownership_epoch(own partition)`` changes only at construction or when
-a ``BeginSplit`` is delivered in its own log.  Certification rejects a
-delivered transaction iff its epoch tag is below the ownership epoch —
-a predicate over log contents only, never message timing.
+a ``BeginSplit`` (or, for the merge's absorbing side, the
+``InstallMigration``) is delivered in its own log.  Certification
+rejects a delivered transaction iff its epoch tag is below the ownership
+epoch — a predicate over log contents only, never message timing.
 """
 
 from __future__ import annotations
@@ -27,23 +37,34 @@ from repro.core.directory import ClusterDirectory
 from repro.core.partitioning import PartitionMap
 from repro.errors import ProtocolError
 from repro.net.message import Message, message
-from repro.reconfig.routing import SplitPartitionMap
+from repro.reconfig.routing import MergePartitionMap, SplitPartitionMap
 
 
 @message
 @dataclass(frozen=True)
 class ConfigChange(Message):
-    """One epoch transition: split ``source`` into ``source`` + ``new_partition``."""
+    """One epoch transition.
+
+    ``kind="split"``: split ``source`` into ``source`` + ``new_partition``
+    (a fresh Paxos group made of ``new_members``).  ``kind="merge"``:
+    absorb ``source`` into the existing ``new_partition`` — no group is
+    created, so ``new_members``/``new_preferred``/``split_salt`` are
+    empty.
+    """
 
     new_epoch: int
     source: str
     new_partition: str
-    #: Server node ids forming the new partition's Paxos group.
+    #: Server node ids forming the new partition's Paxos group (splits only).
     new_members: tuple[str, ...]
     new_preferred: str
-    #: Salt for :func:`repro.reconfig.routing.key_moves`.
+    #: Salt for :func:`repro.reconfig.routing.key_moves` (splits only).
     split_salt: str
     kind: str = "split"
+
+    @property
+    def is_merge(self) -> bool:
+        return self.kind == "merge"
 
 
 def directory_with_split(
@@ -82,6 +103,10 @@ class VersionedRouting:
         self.epoch = 0
         self.changes: list[ConfigChange] = []
         self._ownership: dict[str, int] = {}
+        #: Partitions absorbed by a merge: still in the directory (their
+        #: replicas keep answering votes for pre-merge globals) but
+        #: owning no keys and excluded from new work.
+        self.retired: set[str] = set()
 
     def fork(self) -> "VersionedRouting":
         """An independent copy (each node evolves its own view)."""
@@ -89,6 +114,7 @@ class VersionedRouting:
         fork.epoch = self.epoch
         fork.changes = list(self.changes)
         fork._ownership = dict(self._ownership)
+        fork.retired = set(self.retired)
         return fork
 
     def ownership_epoch(self, partition: str) -> int:
@@ -96,6 +122,10 @@ class VersionedRouting:
 
     def knows_partition(self, partition: str) -> bool:
         return partition in self.directory.partitions
+
+    def active_partitions(self) -> list[str]:
+        """Partitions currently owning keys (directory minus retired)."""
+        return [p for p in self.directory.partition_ids if p not in self.retired]
 
     def changes_since(self, epoch: int) -> tuple[ConfigChange, ...]:
         return tuple(change for change in self.changes if change.new_epoch > epoch)
@@ -112,10 +142,18 @@ class VersionedRouting:
             raise ProtocolError(
                 f"config epoch gap: at {self.epoch}, got change {change.new_epoch}"
             )
-        self.directory = directory_with_split(self.directory, change)
-        self.partition_map = SplitPartitionMap(
-            self.partition_map, change.source, change.new_partition, change.split_salt
-        )
+        if change.is_merge:
+            # The directory is untouched: the absorbed partition's group
+            # stays addressable (vote liveness for in-flight globals).
+            self.partition_map = MergePartitionMap(
+                self.partition_map, change.source, change.new_partition
+            )
+            self.retired.add(change.source)
+        else:
+            self.directory = directory_with_split(self.directory, change)
+            self.partition_map = SplitPartitionMap(
+                self.partition_map, change.source, change.new_partition, change.split_salt
+            )
         self.epoch = change.new_epoch
         self.changes.append(change)
         self._ownership[change.source] = change.new_epoch

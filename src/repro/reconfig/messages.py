@@ -12,6 +12,15 @@ A split runs in three log-ordered steps plus client-facing plumbing:
 3. ``FinishSplit`` — the new partition's leader abcasts back into the
    source log; source replicas evict the moved chains.
 
+A merge (docs/PROTOCOL.md §17) runs the same three steps with the same
+messages — the ``ConfigChange`` they carry has ``kind="merge"`` — with
+the roles reversed: ``BeginSplit`` is ordered through the *absorbed*
+partition's log (freezing its whole keyspace), ``InstallMigration``
+through the *absorbing* partition's log (which is where the absorbing
+replicas also learn the change, keeping their ownership-epoch bump at a
+log position), and ``FinishSplit`` back through the absorbed log, which
+then evicts everything and retires.
+
 ``StaleEpochNotice`` rejects a wrong-epoch request with the missing
 directory changes attached, so one round trip is enough for the client
 to reroute.  ``GetConfig``/``ConfigSnapshot`` pull and push the change
@@ -49,6 +58,11 @@ class InstallMigration(Message):
     #: their original commit versions.
     source_sc: int = 0
     gc_horizon: int = 0
+    #: Merge only: changes older than ``change`` itself, so an absorbing
+    #: replica that missed a pushed ``ConfigSnapshot`` can close the
+    #: epoch gap before applying the merge (changes affecting its own
+    #: partition are already in its log and de-duplicate away).
+    prior_changes: tuple[ConfigChange, ...] = ()
 
 
 @message

@@ -1,19 +1,29 @@
-"""Source-side split state: the write barrier and key-range capture.
+"""Source-side migration state: the write barrier and key-range capture.
 
-The migration plan is deliberately simple and deterministic:
+Both reconfiguration kinds use the same machinery — a split migrates
+half the source's keyspace to a fresh partition, a merge migrates the
+*entire* absorbed keyspace to the surviving one — and the plan is
+deliberately simple and deterministic:
 
 * At ``BeginSplit`` delivery the source replica records the set of
   transactions already delivered but not yet completed (the *barrier*).
-  Those may still write moving keys — they carry valid pre-split epochs
-  — so capture waits for them.  Everything delivered after the split is
+  Those may still write moving keys — they carry valid pre-change epochs
+  — so capture waits for them.  Everything delivered after the change is
   epoch-checked and can no longer touch the moving range, which is the
-  "brief per-range block": only the moving half is fenced, and only
-  until the in-flight tail drains; transactions on the retained half
-  keep committing throughout.
+  "brief per-range block": only the moving range is fenced, and only
+  until the in-flight tail drains; for a split, transactions on the
+  retained half keep committing throughout.
 * When the barrier empties, the replica captures the moving chains from
   its mvstore.  Every replica computes the same capture at the same
   store version (the barrier is derived from the shared log), but only
   the partition leader ships it, avoiding duplicate proposals.
+
+A merge's receiving side cannot install the chains verbatim: the
+absorbed partition's commit versions come from a *different* snapshot
+counter sequence, so :func:`flatten_chains` reduces each chain to its
+latest value and the absorbing server applies the whole batch as one
+synthetic commit above both counters (see
+``SdurServer._deliver_install_merge``).
 """
 
 from __future__ import annotations
@@ -38,9 +48,26 @@ def moved_chains(
     }
 
 
+def flatten_chains(
+    chains: dict[str, list[tuple[int, object]]],
+) -> dict[str, object]:
+    """Latest value per key, dropping version history.
+
+    Used by the merge install: the absorbed partition's version numbers
+    are meaningless in the absorbing partition's counter sequence, so
+    only the newest value of each chain survives the move (older
+    snapshots abort conservatively behind the raised gc horizon).
+    """
+    return {key: chain[-1][1] for key, chain in chains.items() if chain}
+
+
 @dataclass
 class SplitSource:
-    """A source replica's in-flight split."""
+    """A source replica's in-flight migration (split *or* merge).
+
+    For a merge the "source" is the absorbed partition and
+    ``moved_keys`` ends up covering its entire store.
+    """
 
     change: ConfigChange
     #: Transactions pending at ``BeginSplit`` delivery; capture waits
@@ -49,6 +76,11 @@ class SplitSource:
     captured: bool = False
     #: Keys shipped to the new partition (evicted at ``FinishSplit``).
     moved_keys: frozenset[str] = frozenset()
+    #: Merge only: the key routing as of the epoch *before* the change.
+    #: The retiring replica keeps serving reads for keys this map routes
+    #: to it until eviction — the absorbing partition may not have
+    #: installed the state yet, and forwarding would ping-pong.
+    retiring_map: PartitionMap | None = None
 
     @property
     def ready_to_capture(self) -> bool:

@@ -1,4 +1,4 @@
-"""Key routing across a partition split.
+"""Key routing across a partition split or merge.
 
 A split sends a deterministic half of the source partition's keyspace to
 the new partition.  The decision must be a pure function of the key and
@@ -8,7 +8,11 @@ CRC-32 (stable across processes, like :class:`PartitionMap` itself).
 
 :class:`SplitPartitionMap` is a routing overlay: it wraps the previous
 epoch's map and redirects moving keys, so repeated splits stack
-naturally (splitting ``p0`` twice wraps twice).
+naturally (splitting ``p0`` twice wraps twice).  :class:`MergePartitionMap`
+is the inverse overlay: every key the base map routed to the absorbed
+partition is redirected to the absorbing one.  Merging a partition back
+into the one it was split from therefore round-trips the routing exactly
+(the overlays cancel), which the property tests assert.
 """
 
 from __future__ import annotations
@@ -53,4 +57,29 @@ class SplitPartitionMap(PartitionMap):
         partition = self.base.partition_of(key)
         if partition == self.source and key_moves(key, self.salt):
             return self.new_partition
+        return partition
+
+
+class MergePartitionMap(PartitionMap):
+    """The previous epoch's map with one partition absorbed into another.
+
+    ``num_partitions`` is *not* decremented: partition names stay dense
+    and are never reused, so a later split still allocates a fresh
+    ``p{n}`` and old :class:`ConfigChange` replays stay unambiguous.  The
+    absorbed partition simply owns no keys any more (it is *retired*,
+    tracked by :class:`~repro.reconfig.epochs.VersionedRouting`).
+    """
+
+    def __init__(self, base: PartitionMap, absorbed: str, into: str) -> None:
+        if absorbed == into:
+            raise ConfigurationError(f"cannot merge {absorbed!r} into itself")
+        super().__init__(base.num_partitions)
+        self.base = base
+        self.absorbed = absorbed
+        self.into = into
+
+    def partition_of(self, key: str) -> str:
+        partition = self.base.partition_of(key)
+        if partition == self.absorbed:
+            return self.into
         return partition

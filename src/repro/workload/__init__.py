@@ -2,6 +2,7 @@
 
 from repro.workload.base import TxnSpec, Workload
 from repro.workload.distributions import UniformSampler, ZipfSampler
+from repro.workload.drift import DriftingHotspot
 from repro.workload.microbench import MicroBenchmark
 from repro.workload.overload import ConstantRate, FlashCrowd, HotKeyStorm, LoadShape
 from repro.workload.social import SocialNetworkWorkload, generate_social_data
@@ -11,6 +12,7 @@ __all__ = [
     "Workload",
     "UniformSampler",
     "ZipfSampler",
+    "DriftingHotspot",
     "MicroBenchmark",
     "ConstantRate",
     "FlashCrowd",

@@ -1,0 +1,1 @@
+"""Autoscale subsystem tests."""

@@ -1,0 +1,80 @@
+"""Unit tests for the space-saving hot-key sketch."""
+
+import random
+
+import pytest
+
+from repro.autoscale import SpaceSavingTracker
+from repro.errors import ConfigurationError
+
+
+class TestSpaceSavingTracker:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            SpaceSavingTracker(0)
+
+    def test_exact_below_capacity(self):
+        tracker = SpaceSavingTracker(8)
+        for _ in range(5):
+            tracker.observe("a")
+        for _ in range(3):
+            tracker.observe("b")
+        tracker.observe("c")
+        assert tracker.top() == [("a", 5, 0), ("b", 3, 0), ("c", 1, 0)]
+        assert tracker.total == 9
+
+    def test_eviction_inherits_the_minimum_count(self):
+        tracker = SpaceSavingTracker(2)
+        tracker.observe("a", 5)
+        tracker.observe("b", 2)
+        tracker.observe("c")  # evicts b (min), inherits its count as error
+        top = tracker.top()
+        assert top == [("a", 5, 0), ("c", 3, 2)]
+        # count - error lower-bounds the true frequency.
+        for _key, count, error in top:
+            assert count - error >= 1
+
+    def test_heavy_hitters_survive_a_noisy_stream(self):
+        rng = random.Random(7)
+        tracker = SpaceSavingTracker(16)
+        stream = ["hot1"] * 400 + ["hot2"] * 300 + [f"cold{i}" for i in range(300)]
+        rng.shuffle(stream)
+        for key in stream:
+            tracker.observe(key)
+        ranked = [key for key, _count, _error in tracker.top(2)]
+        assert ranked == ["hot1", "hot2"]
+
+    def test_counts_never_underestimate(self):
+        rng = random.Random(11)
+        tracker = SpaceSavingTracker(4)
+        truth: dict[str, int] = {}
+        for _ in range(500):
+            key = f"k{rng.randrange(20)}"
+            truth[key] = truth.get(key, 0) + 1
+            tracker.observe(key)
+        for key, count, error in tracker.top():
+            assert count >= truth[key]
+            assert count - error <= truth[key]
+
+    def test_deterministic_across_replays(self):
+        def replay() -> list[tuple[str, int, int]]:
+            tracker = SpaceSavingTracker(3)
+            for key in ["a", "b", "c", "d", "e", "a", "d", "f", "a"]:
+                tracker.observe(key)
+            return tracker.top()
+
+        assert replay() == replay()
+
+    def test_merged_into_sums_counts(self):
+        left = SpaceSavingTracker(8)
+        right = SpaceSavingTracker(8)
+        combined = SpaceSavingTracker(8)
+        for _ in range(4):
+            left.observe("a")
+        for _ in range(3):
+            right.observe("a")
+        right.observe("b")
+        left.merged_into(combined)
+        right.merged_into(combined)
+        assert combined.top(1) == [("a", 7, 0)]
+        assert len(combined) == 2

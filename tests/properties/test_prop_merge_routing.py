@@ -1,0 +1,77 @@
+"""Property: merging a split child back into its parent restores routing.
+
+``MergePartitionMap(SplitPartitionMap(base, src, new, salt), new, src)``
+must route every key exactly like ``base`` — the merge overlay is the
+split overlay's inverse.  The same must hold one level up, through
+``VersionedRouting.apply`` with planned changes, because that is the
+composition every replica actually computes when the autoscale
+controller folds a cooled child back into its parent.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.directory import ClusterDirectory
+from repro.core.partitioning import PartitionMap
+from repro.reconfig import (
+    MergePartitionMap,
+    SplitPartitionMap,
+    VersionedRouting,
+    plan_merge,
+    plan_split,
+)
+
+partitions = st.integers(min_value=1, max_value=5)
+suffixes = st.text(
+    alphabet=st.characters(codec="ascii", exclude_characters="/"),
+    min_size=1,
+    max_size=12,
+)
+salts = st.text(min_size=1, max_size=8)
+
+
+@st.composite
+def key_batches(draw, num_partitions):
+    blocks = st.integers(min_value=0, max_value=num_partitions - 1)
+    return draw(
+        st.lists(
+            st.tuples(blocks, suffixes).map(lambda p: f"{p[0]}/{p[1]}"),
+            min_size=1,
+            max_size=30,
+        )
+    )
+
+
+@given(data=st.data(), num_partitions=partitions, salt=salts)
+def test_merge_overlay_inverts_split_overlay(data, num_partitions, salt):
+    base = PartitionMap.by_index(num_partitions)
+    source = f"p{data.draw(st.integers(0, num_partitions - 1), label='source')}"
+    child = f"p{num_partitions}"
+    split = SplitPartitionMap(base, source, child, salt)
+    merged = MergePartitionMap(split, child, source)
+    for key in data.draw(key_batches(num_partitions), label="keys"):
+        assert merged.partition_of(key) == base.partition_of(key)
+
+
+@given(data=st.data(), num_partitions=st.integers(min_value=1, max_value=4))
+def test_split_then_merge_round_trips_versioned_routing(data, num_partitions):
+    directory = ClusterDirectory(
+        partitions={
+            f"p{i}": [f"s{3 * i + 1}", f"s{3 * i + 2}", f"s{3 * i + 3}"]
+            for i in range(num_partitions)
+        },
+        preferred={f"p{i}": f"s{3 * i + 1}" for i in range(num_partitions)},
+    )
+    base = PartitionMap.by_index(num_partitions)
+    routing = VersionedRouting(directory, base)
+    source = f"p{data.draw(st.integers(0, num_partitions - 1), label='source')}"
+
+    split = plan_split(routing, source)
+    assert routing.apply(split)
+    assert routing.apply(plan_merge(routing, split.new_partition, source))
+
+    assert routing.epoch == 2
+    assert routing.retired == {split.new_partition}
+    assert routing.active_partitions() == [f"p{i}" for i in range(num_partitions)]
+    for key in data.draw(key_batches(num_partitions), label="keys"):
+        assert routing.partition_map.partition_of(key) == base.partition_of(key)

@@ -1,0 +1,140 @@
+"""Unit tests for merge planning, routing overlays, and epoch state."""
+
+import pytest
+
+from repro.core.directory import ClusterDirectory
+from repro.core.partitioning import PartitionMap
+from repro.errors import ConfigurationError
+from repro.reconfig import (
+    MergePartitionMap,
+    SplitPartitionMap,
+    VersionedRouting,
+    plan_merge,
+    plan_split,
+)
+
+
+def two_partition_directory() -> ClusterDirectory:
+    return ClusterDirectory(
+        partitions={"p0": ["s1", "s2", "s3"], "p1": ["s4", "s5", "s6"]},
+        preferred={"p0": "s1", "p1": "s4"},
+    )
+
+
+def make_routing() -> VersionedRouting:
+    return VersionedRouting(two_partition_directory(), PartitionMap.by_index(2))
+
+
+def split_then_routing() -> VersionedRouting:
+    """Routing after p0 split into p0 + p2 (the merge's usual starting point)."""
+    routing = make_routing()
+    routing.apply(plan_split(routing, "p0"))
+    return routing
+
+
+class TestMergePartitionMap:
+    def test_redirects_only_the_absorbed_partition(self):
+        base = PartitionMap.by_index(2)
+        merged = MergePartitionMap(base, "p1", "p0")
+        for i in range(50):
+            assert merged.partition_of(f"1/k{i}") == "p0"
+            assert merged.partition_of(f"0/k{i}") == "p0"
+
+    def test_keeps_partition_count(self):
+        # Partition ids must stay dense for name allocation, so a merge
+        # never decrements num_partitions — it only redirects keys.
+        base = PartitionMap.by_index(3)
+        merged = MergePartitionMap(base, "p2", "p1")
+        assert merged.num_partitions == base.num_partitions
+
+    def test_undoes_a_split(self):
+        base = PartitionMap.by_index(2)
+        split = SplitPartitionMap(base, "p0", "p2", "salt")
+        merged = MergePartitionMap(split, "p2", "p0")
+        for p in range(2):
+            for i in range(100):
+                key = f"{p}/k{i}"
+                assert merged.partition_of(key) == base.partition_of(key)
+
+
+class TestPlanMerge:
+    def test_builds_a_merge_change(self):
+        routing = split_then_routing()
+        change = plan_merge(routing, "p2", "p0")
+        assert change.kind == "merge"
+        assert change.is_merge
+        assert change.source == "p2"
+        assert change.new_partition == "p0"
+        assert change.new_members == ()
+        assert change.new_epoch == routing.epoch + 1
+
+    def test_unknown_partition_rejected(self):
+        routing = make_routing()
+        with pytest.raises(ConfigurationError):
+            plan_merge(routing, "p9", "p0")
+        with pytest.raises(ConfigurationError):
+            plan_merge(routing, "p0", "p9")
+
+    def test_self_merge_rejected(self):
+        with pytest.raises(ConfigurationError):
+            plan_merge(make_routing(), "p0", "p0")
+
+    def test_retired_partition_rejected(self):
+        routing = split_then_routing()
+        routing.apply(plan_merge(routing, "p2", "p0"))
+        with pytest.raises(ConfigurationError):
+            plan_merge(routing, "p2", "p1")
+        with pytest.raises(ConfigurationError):
+            plan_merge(routing, "p1", "p2")
+
+    def test_split_of_retired_partition_rejected(self):
+        routing = split_then_routing()
+        routing.apply(plan_merge(routing, "p2", "p0"))
+        with pytest.raises(ConfigurationError):
+            plan_split(routing, "p2")
+
+
+class TestVersionedRoutingMerge:
+    def test_apply_retires_the_absorbed_partition(self):
+        routing = split_then_routing()
+        change = plan_merge(routing, "p2", "p0")
+        assert routing.apply(change)
+        assert routing.epoch == 2
+        assert routing.retired == {"p2"}
+        assert routing.active_partitions() == ["p0", "p1"]
+        # Both sides of the merge own the new epoch; p1 is untouched.
+        assert routing.ownership_epoch("p0") == 2
+        assert routing.ownership_epoch("p2") == 2
+        assert routing.ownership_epoch("p1") == 0
+
+    def test_directory_keeps_the_absorbed_group(self):
+        # The absorbed group's servers still vote on in-flight globals,
+        # so the directory entry must survive retirement.
+        routing = split_then_routing()
+        members = routing.directory.servers_of("p2")
+        routing.apply(plan_merge(routing, "p2", "p0"))
+        assert routing.directory.servers_of("p2") == members
+
+    def test_routing_matches_pre_split_map(self):
+        base = PartitionMap.by_index(2)
+        routing = split_then_routing()
+        routing.apply(plan_merge(routing, "p2", "p0"))
+        for p in range(2):
+            for i in range(100):
+                key = f"{p}/k{i}"
+                assert routing.partition_map.partition_of(key) == base.partition_of(key)
+
+    def test_apply_is_idempotent(self):
+        routing = split_then_routing()
+        change = plan_merge(routing, "p2", "p0")
+        assert routing.apply(change)
+        assert not routing.apply(change)
+        assert routing.epoch == 2
+
+    def test_fork_copies_retired(self):
+        routing = split_then_routing()
+        routing.apply(plan_merge(routing, "p2", "p0"))
+        fork = routing.fork()
+        assert fork.retired == {"p2"}
+        fork.retired.add("p1")
+        assert routing.retired == {"p2"}
