@@ -38,6 +38,7 @@ kernel) → :mod:`repro.net` (messages, topology, transports) →
 """
 
 from repro.baseline.dur import build_classic_dur
+from repro.core.batch import BatchingConfig
 from repro.core.client import ClientConfig, Read, ReadMany, SdurClient, TxnResult
 from repro.core.config import DelayMode, SdurConfig, ServiceCosts
 from repro.core.partitioning import PartitionMap
@@ -52,6 +53,7 @@ __version__ = "0.1.0"
 
 __all__ = [
     "AdmissionConfig",
+    "BatchingConfig",
     "ClientConfig",
     "ClosedLoopDriver",
     "OpenLoopDriver",

@@ -34,6 +34,7 @@ from repro.core.messages import (
     Busy,
     CommitRequest,
     GetSnapshotVector,
+    OutcomeBatch,
     OutcomeNotice,
     ReadRequest,
     ReadResponse,
@@ -366,6 +367,8 @@ class SdurClient:
             self._on_vector(msg)
         elif isinstance(msg, OutcomeNotice):
             self._on_outcome(msg)
+        elif isinstance(msg, OutcomeBatch):
+            self._on_outcome_batch(msg)
         elif isinstance(msg, Busy):
             self._on_busy(msg)
         elif isinstance(msg, StaleEpochNotice):
@@ -651,6 +654,14 @@ class SdurClient:
         if state is None:
             return  # later replica notices for an already-finished txn
         self._finish(state, Outcome(msg.outcome))
+
+    def _on_outcome_batch(self, msg: OutcomeBatch) -> None:
+        """Grouped outcomes from a batching server (§18), in completion
+        order — observably identical to the individual notices."""
+        for tid, outcome in msg.outcomes:
+            state = self._active.get(tid)
+            if state is not None:
+                self._finish(state, Outcome(outcome))
 
     # ------------------------------------------------------------------
     # Overload sheds (docs/PROTOCOL.md §16)

@@ -5,6 +5,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
+from repro.core.batch import BatchingConfig
 from repro.overload.admission import AdmissionConfig
 
 
@@ -151,6 +152,14 @@ class SdurConfig:
     #: behavior, kept as the O4 ablation baseline.
     admission: AdmissionConfig | None = None
 
+    # -- Batched delivery (docs/PROTOCOL.md §18) --------------------------
+    #: Group consecutive abcast deliveries into delivery batches that are
+    #: certified in one pass, with vote records grouped per log value and
+    #: client replies batched per destination.  ``None`` (default)
+    #: processes every delivery individually, as the paper's prototype
+    #: and all pre-§18 experiments do.
+    batching: BatchingConfig | None = None
+
     # -- Client notification ---------------------------------------------
     #: Every replica (not just the coordinator) sends the outcome to the
     #: client.  Costlier but robust to coordinator crashes.
@@ -183,6 +192,10 @@ class SdurConfig:
     def with_admission(self, admission: AdmissionConfig | None) -> "SdurConfig":
         """Copy with the given admission policy (``None`` disables)."""
         return self._replace(admission=admission)
+
+    def with_batching(self, batching: BatchingConfig | None) -> "SdurConfig":
+        """Copy with the given delivery-batching policy (``None`` disables)."""
+        return self._replace(batching=batching)
 
     def _replace(self, **changes: object) -> "SdurConfig":
         from dataclasses import replace

@@ -96,6 +96,24 @@ class OutcomeNotice(Message):
 
 @message
 @dataclass(frozen=True)
+class OutcomeBatch(Message):
+    """Server → client: several outcomes in one message (§18).
+
+    With delivery batching on, a server buffers the outcome notices a
+    batch produces and sends one ``OutcomeBatch`` per destination client
+    instead of one :class:`OutcomeNotice` per transaction.  Order inside
+    ``outcomes`` is completion order; clients process entries in order,
+    so the observable effect is identical to individual notices.
+    """
+
+    partition: str
+    #: ``(tid, Outcome.value)`` per completed transaction, in completion
+    #: order.
+    outcomes: tuple[tuple[TxnId, str], ...]
+
+
+@message
+@dataclass(frozen=True)
 class Busy(Message):
     """Server → client: work refused by admission control (§16).
 

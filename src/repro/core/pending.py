@@ -15,7 +15,7 @@ from repro.core.transaction import Outcome, TxnId, TxnProjection
 from repro.errors import ProtocolError
 
 
-@dataclass
+@dataclass(slots=True)
 class PendingTxn:
     """One pending-list entry."""
 

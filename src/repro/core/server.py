@@ -32,9 +32,11 @@ from __future__ import annotations
 
 from collections import OrderedDict, deque
 from collections.abc import Callable
+from time import perf_counter_ns
 from typing import Any
 
 from repro.consensus.abcast import AbcastFabric
+from repro.core.batch import DeliveryBatcher
 from repro.core.certifier import CertificationWindow, CommittedRecord
 from repro.core.certindex import make_certifier
 from repro.core.checkpoint import (
@@ -53,6 +55,7 @@ from repro.core.messages import (
     CommitRequest,
     GetSnapshotVector,
     NoopTick,
+    OutcomeBatch,
     OutcomeNotice,
     ReadRequest,
     ReadResponse,
@@ -79,7 +82,7 @@ from repro.reconfig.messages import (
 from repro.reconfig.migration import SplitSource, flatten_chains, moved_chains
 from repro.runtime.base import Runtime
 from repro.storage.mvstore import MultiVersionStore
-from repro.termination import VoteLedger, VoteRecord
+from repro.termination import VoteLedger, VoteRecord, VoteRecordGroup
 
 
 class ServerStats:
@@ -136,6 +139,20 @@ class ServerStats:
         #: Write-key observations fed to the hot-key tracker; stays 0
         #: unless the harness attaches one (docs/PROTOCOL.md §17).
         self.hotkey_updates = 0
+        #: Delivery batches processed (docs/PROTOCOL.md §18); stays 0
+        #: with batching off, where every delivery is ingested alone.
+        self.batches_delivered = 0
+        #: Largest delivery batch processed so far (a high-water mark;
+        #: at most ``BatchingConfig.max_batch``).
+        self.batch_size_max = 0
+        #: Wall-clock nanoseconds spent inside the one-pass batch
+        #: certify/apply loop (the fast path only — fallback values are
+        #: priced by the ordinary counters).
+        self.batch_certify_ns = 0
+        #: Reply-path bytes saved by grouped ``OutcomeBatch`` replies on
+        #: the packed codec vs individual JSON notices; only accumulates
+        #: when ``BatchingConfig.measure_codec_savings`` is on.
+        self.codec_bytes_saved = 0
 
     @property
     def committed(self) -> int:
@@ -221,8 +238,28 @@ class SdurServer:
                 fabric.abcast,
                 retry_interval=self.config.ledger_retry_interval,
                 limit=self._completed_limit,
+                group_size=(
+                    self.config.batching.ledger_group
+                    if self.config.batching is not None
+                    else 1
+                ),
             )
             self.ledger.is_leader = lambda: self.is_partition_leader()
+        #: Batched delivery pipeline (docs/PROTOCOL.md §18); ``None``
+        #: ingests every delivery individually, as Algorithm 2 is written.
+        self.batcher: DeliveryBatcher | None = None
+        if self.config.batching is not None:
+            self.batcher = DeliveryBatcher(
+                self.config.batching,
+                flush=self._on_batch_ready,
+                set_timer=runtime.set_timer,
+            )
+        #: True while a delivery batch is being processed; completion
+        #: notices produced inside the batch buffer into per-destination
+        #: :class:`OutcomeBatch` replies flushed at the batch boundary.
+        self._in_batch = False
+        #: client node id -> [(tid, outcome)] buffered this batch.
+        self._reply_buffer: dict[str, list[tuple[TxnId, str]]] = {}
         #: Transactions killed by an abort-request before delivery
         #: (insertion-ordered so the backlog can be bounded).
         self._aborted_early: OrderedDict[TxnId, None] = OrderedDict()
@@ -585,7 +622,208 @@ class SdurServer:
         """Callback wired to this partition's Paxos replica."""
         self._last_instance = max(self._last_instance, instance)
         cost = self.config.costs.certify if isinstance(value, TxnProjection) else 0.0
+        if self.batcher is not None:
+            self.batcher.add(value, cost)
+            return
         self.runtime.execute(cost, lambda: self._ingest(value))
+
+    def _on_batch_ready(self, items: list[tuple[Any, float]]) -> None:
+        """A delivery batch flushed (size or time bound): run it.
+
+        The whole batch is charged as one CPU-model execution — the sum
+        of its members' costs — which is the batching win under nonzero
+        service costs: one scheduler round instead of one per value.
+        """
+        values = [value for value, _ in items]
+        total_cost = sum(cost for _, cost in items)
+        self.runtime.execute(total_cost, lambda: self._run_batch(values))
+
+    def flush_batches(self) -> None:
+        """Force out buffered deliveries and replies (quiescence, tests)."""
+        if self.batcher is not None:
+            self.batcher.flush_now()
+        if self.ledger is not None:
+            self.ledger.flush_group()
+        self._flush_replies()
+
+    def _batch_fast_ok(self, value: Any) -> bool:
+        """May ``value`` take the one-pass batch path?
+
+        The fast path commits a run of *local* projections straight
+        through certification into the window, skipping the pending
+        list and the per-value delivery machinery.  It is taken only
+        when the sequential path would behave identically by
+        construction (docs/PROTOCOL.md §18.2): a local projection
+        delivered onto an empty, ungated pending list is certified
+        against the window alone, finds no pending conflicts, inserts
+        at position 0, and completes immediately — so certify-and-apply
+        in one step is the same state transition.  Every condition below
+        is stable or conservative over the run it guards: the pending
+        list stays empty (fast-path locals never enter it), and ``sc``
+        only grows, so a snapshot rejected here merely falls back to the
+        (gating) sequential ingest.
+        """
+        return (
+            isinstance(value, TxnProjection)
+            and value.is_local
+            and not self.pending
+            and not self._stalled
+            and not self._applying
+            and not self._migration_pending
+            and self._migration is None
+            and value.epoch <= self.routing.epoch
+            and value.epoch >= self.routing.ownership_epoch(self.partition)
+            and value.snapshot <= self.sc
+            and value.tid not in self._aborted_early
+        )
+
+    def _run_batch(self, values: list[Any]) -> None:
+        """Process one delivery batch, in delivery order.
+
+        Maximal runs of fast-path-eligible local projections are
+        certified and applied in one pass (:meth:`_commit_local_run`);
+        every other value — globals, vote records, deferrals, gated or
+        duplicate deliveries, reconfiguration values — falls back to the
+        ordinary one-value ingest, preserving its exact semantics.
+        """
+        self.stats.batches_delivered += 1
+        if len(values) > self.stats.batch_size_max:
+            self.stats.batch_size_max = len(values)
+        self._in_batch = True
+        try:
+            index = 0
+            total = len(values)
+            while index < total:
+                if self._batch_fast_ok(values[index]):
+                    end = index + 1
+                    while end < total and self._batch_fast_ok(values[end]):
+                        end += 1
+                    self._commit_local_run(values[index:end])
+                    index = end
+                else:
+                    self._ingest(values[index])
+                    index += 1
+        finally:
+            self._in_batch = False
+        if self.ledger is not None:
+            self.ledger.flush_group()
+        self._flush_replies()
+
+    def _commit_local_run(self, projs: list[TxnProjection]) -> None:
+        """One-pass certification of a run of fast-path local projections.
+
+        Intra-batch conflict carry-forward needs no extra bookkeeping:
+        each commit appends to the certification window (whose listener
+        updates the key index) *before* the next member is certified, so
+        a later member reading an earlier member's write hits the same
+        certification abort the sequential path produces.
+        """
+        obs = self._obs
+        certifier = self.certifier
+        window = self.window
+        store = self.store
+        costs_apply = self.config.costs.apply
+        applied = 0
+        started = perf_counter_ns()
+        for proj in projs:
+            self.dc += 1
+            tid = proj.tid
+            if tid in self._completed or tid in self.pending:
+                continue  # duplicate delivery (e.g. client retry); ignore
+            if obs.enabled:
+                obs.event(
+                    "server.deliver",
+                    self.node_id,
+                    tid,
+                    partition=self.partition,
+                    dc=self.dc,
+                    is_global=False,
+                )
+            verdict = certifier.certify(proj)
+            if obs.enabled:
+                obs.event(
+                    "server.certify",
+                    self.node_id,
+                    tid,
+                    verdict=(
+                        "stale" if verdict is None else ("commit" if verdict else "abort")
+                    ),
+                )
+            if not verdict:
+                self._finish_aborted(
+                    proj,
+                    self.stats_bucket("stale" if verdict is None else "certification"),
+                )
+                continue
+            version = self.sc + 1
+            store.apply(proj.writeset, version)
+            ws_keys = proj.ws_keys
+            window.add(
+                CommittedRecord(
+                    tid=tid,
+                    version=version,
+                    readset=proj.readset,
+                    ws_keys=ws_keys,
+                    is_global=False,
+                )
+            )
+            self.snapshot_builder.on_local_commit(tid, version, proj.partitions, False)
+            if self.on_commit_hook is not None:
+                self.on_commit_hook(tid, self.partition, version, proj)
+            if self.hot_keys is not None and ws_keys:
+                for key in ws_keys:
+                    self.hot_keys.observe(key)
+                self.stats.hotkey_updates += len(ws_keys)
+            self.stats.committed_local += 1
+            applied += 1
+            if obs.enabled:
+                obs.event(
+                    "server.complete", self.node_id, tid, outcome=Outcome.COMMIT.value
+                )
+            self.runtime.trace(
+                "sdur.commit", tid=str(tid), version=version, is_global=False
+            )
+            self._record_completed(tid, Outcome.COMMIT)
+            self._vote_buffer.pop(tid, None)
+            self._notify_client(proj, Outcome.COMMIT)
+        self.stats.batch_certify_ns += perf_counter_ns() - started
+        if applied and costs_apply > 0:
+            # Charge the CPU model for the applies in one execution;
+            # later work queues behind it on the node's FIFO executor.
+            self.runtime.execute(applied * costs_apply, lambda: None)
+        self._drain_waiting_reads()
+
+    def _flush_replies(self) -> None:
+        """Send buffered outcomes as one :class:`OutcomeBatch` per client."""
+        if not self._reply_buffer:
+            return
+        buffer = self._reply_buffer
+        self._reply_buffer = {}
+        measure = (
+            self.config.batching is not None
+            and self.config.batching.measure_codec_savings
+        )
+        for client, outcomes in buffer.items():
+            batch = OutcomeBatch(partition=self.partition, outcomes=tuple(outcomes))
+            if measure:
+                self._measure_codec_savings(batch)
+            self.runtime.send(client, batch)
+
+    def _measure_codec_savings(self, batch: OutcomeBatch) -> None:
+        from repro.net.codec import encode_packed
+        from repro.net.message import encode_message
+
+        individual = sum(
+            len(
+                encode_message(
+                    OutcomeNotice(tid=tid, outcome=outcome, partition=batch.partition)
+                )
+            )
+            for tid, outcome in batch.outcomes
+        )
+        saved = individual - len(encode_packed(batch))
+        if saved > 0:
+            self.stats.codec_bytes_saved += saved
 
     def _gate_blocks(self, value: Any) -> bool:
         """Must this delivery wait for the store to reach its snapshot?
@@ -651,6 +889,11 @@ class SdurServer:
             self._deliver_abort_request(value)
         elif isinstance(value, VoteRecord):
             self._deliver_vote_record(value)
+        elif isinstance(value, VoteRecordGroup):
+            # Grouped votes (§18): member records take effect strictly in
+            # group order, exactly as if delivered as individual values.
+            for record in value.records:
+                self._deliver_vote_record(record)
         elif isinstance(value, ThresholdChange):
             self._deliver_threshold_change(value)
         elif isinstance(value, BeginSplit):
@@ -1160,6 +1403,13 @@ class SdurServer:
                 self._obs.event(
                     "server.notify", self.node_id, proj.tid, outcome=outcome.value
                 )
+            if self._in_batch:
+                # Batched replies (§18): buffered per destination and
+                # flushed as one OutcomeBatch at the batch boundary.
+                self._reply_buffer.setdefault(proj.client, []).append(
+                    (proj.tid, outcome.value)
+                )
+                return
             self.runtime.send(
                 proj.client,
                 OutcomeNotice(tid=proj.tid, outcome=outcome.value, partition=self.partition),
@@ -1219,7 +1469,14 @@ class SdurServer:
     # Checkpointing (bounded recovery; see repro.core.checkpoint)
     # ------------------------------------------------------------------
     def _quiescent(self) -> bool:
-        return not self.pending and not self._stalled and not self._applying
+        # Buffered (un-ingested) deliveries block quiescence: a checkpoint
+        # claims coverage through _last_instance, which they count toward.
+        return (
+            not self.pending
+            and not self._stalled
+            and not self._applying
+            and (self.batcher is None or len(self.batcher) == 0)
+        )
 
     def _checkpoint_tick(self) -> None:
         if self._quiescent() and self.sc > 0:

@@ -338,6 +338,10 @@ class SdurCluster:
                 "queue_depth_max": stats.queue_depth_max,
                 "stall_depth_max": stats.stall_depth_max,
                 "hotkey_updates": stats.hotkey_updates,
+                "batches_delivered": stats.batches_delivered,
+                "batch_size_max": stats.batch_size_max,
+                "batch_certify_ns": stats.batch_certify_ns,
+                "codec_bytes_saved": stats.codec_bytes_saved,
             }
         if self.autoscale is not None:
             out["autoscale"] = self.autoscale.counters()
@@ -352,6 +356,7 @@ def build_cluster(
     intra_delay: float | None = None,
     jitter_fraction: float = 0.0,
     codec_roundtrip: bool = False,
+    codec: str = "json",
     trace: bool = False,
     paxos_config: PaxosConfig | None = None,
     paxos_config_factory: "Callable[[str, str], PaxosConfig] | None" = None,
@@ -377,6 +382,7 @@ def build_cluster(
         jitter_fraction=jitter_fraction,
         seed=seed,
         codec_roundtrip=codec_roundtrip,
+        codec=codec,
         trace=trace,
         obs=SpanRecorder() if config.tracing else None,
     )

@@ -1,11 +1,14 @@
 """Real TCP transport for the asyncio runtime.
 
-Frames are length-prefixed (4-byte big-endian) JSON messages produced by
-the wire codec in :mod:`repro.net.message`, wrapped in an
-:class:`Envelope` carrying the sender's node id.  Connections are opened
-lazily per destination and cached; links are quasi-reliable in the sense
-of the paper's model (TCP delivers in order while both endpoints live;
-on connection failure the message is dropped and higher layers — Paxos —
+Frames are length-prefixed (4-byte big-endian) messages produced by the
+selected wire codec — the JSON codec of :mod:`repro.net.message` by
+default, or the struct-packed binary codec of :mod:`repro.net.codec`
+(``codec="packed"``) — wrapped in an :class:`Envelope` carrying the
+sender's node id.  Both endpoints must run the same codec; the frame
+layout is codec-independent.  Connections are opened lazily per
+destination and cached; links are quasi-reliable in the sense of the
+paper's model (TCP delivers in order while both endpoints live; on
+connection failure the message is dropped and higher layers — Paxos —
 recover).
 """
 
@@ -17,7 +20,8 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.errors import TransportError
-from repro.net.message import Message, decode_message, encode_message, message
+from repro.net.codec import get_codec
+from repro.net.message import Message, message
 from repro.obs.recorder import NULL_RECORDER, ObsRecorder, traced_tid as _traced_tid
 
 _LEN_BYTES = 4
@@ -62,12 +66,15 @@ class AioTransport:
         directory: dict[str, tuple[str, int]],
         handler: Callable[[str, Any], None],
         obs: ObsRecorder | None = None,
+        codec: str = "json",
     ) -> None:
         if node_id not in directory:
             raise TransportError(f"node {node_id!r} missing from directory")
         self.node_id = node_id
         self.directory = directory
         self.handler = handler
+        self.codec = codec
+        self._encode, self._decode = get_codec(codec)
         self.obs = obs if obs is not None else NULL_RECORDER
         self._server: asyncio.AbstractServer | None = None
         self._writers: dict[str, asyncio.StreamWriter] = {}
@@ -92,7 +99,7 @@ class AioTransport:
                 frame = await _read_frame(reader)
                 if frame is None:
                     break
-                envelope = decode_message(frame)
+                envelope = self._decode(frame)
                 if not isinstance(envelope, Envelope):
                     raise TransportError(f"expected Envelope, got {type(envelope).__name__}")
                 if self.obs.enabled:
@@ -119,7 +126,7 @@ class AioTransport:
                 self.obs.event(
                     "net.send", self.node_id, tid, dst=dst, msg=type(msg).__name__
                 )
-        frame = _frame(encode_message(Envelope(src=self.node_id, payload=msg)))
+        frame = _frame(self._encode(Envelope(src=self.node_id, payload=msg)))
         lock = self._send_locks.setdefault(dst, asyncio.Lock())
         async with lock:
             writer = self._writers.get(dst)

@@ -42,6 +42,7 @@ class SimWorld:
         loss_probability: float = 0.0,
         trace: bool = False,
         obs: ObsRecorder | None = None,
+        codec: str = "json",
     ) -> None:
         self.kernel = Kernel()
         self.topology = topology if topology is not None else Topology()
@@ -67,6 +68,7 @@ class SimWorld:
             loss_probability=loss_probability,
             tracer=self.tracer,
             obs=self.obs,
+            codec=codec,
             # Worlds model real deployments: traffic to departed nodes
             # (e.g. clients of a previous incarnation during WAL
             # recovery) is dropped, not an error.

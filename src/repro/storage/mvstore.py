@@ -20,7 +20,7 @@ from typing import Any, Iterator
 from repro.errors import SnapshotTooOldError, StorageError
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class VersionedValue:
     """One committed version of one key."""
 
@@ -75,8 +75,12 @@ class MultiVersionStore:
             raise StorageError(
                 f"version {version} not greater than current {self._current_version}"
             )
+        versions = self._versions
         for key, value in writeset.items():
-            self._versions.setdefault(key, []).append(VersionedValue(version, value))
+            chain = versions.get(key)
+            if chain is None:
+                chain = versions[key] = []
+            chain.append(VersionedValue(version, value))
         self._current_version = version
 
     def seed(self, items: dict[Any, Any]) -> None:

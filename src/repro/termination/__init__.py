@@ -29,6 +29,6 @@ wait cycle aborts, identically at all replicas.
 """
 
 from repro.termination.ledger import VoteLedger
-from repro.termination.messages import VoteRecord
+from repro.termination.messages import VoteRecord, VoteRecordGroup
 
-__all__ = ["VoteLedger", "VoteRecord"]
+__all__ = ["VoteLedger", "VoteRecord", "VoteRecordGroup"]

@@ -33,7 +33,7 @@ from collections.abc import Callable
 from repro.core.transaction import TxnId
 from repro.obs.recorder import NULL_RECORDER
 from repro.runtime.base import Runtime
-from repro.termination.messages import VoteRecord
+from repro.termination.messages import VoteRecord, VoteRecordGroup
 
 
 class VoteLedger:
@@ -46,6 +46,7 @@ class VoteLedger:
         abcast: Callable[[str, object], None],
         retry_interval: float | None = 0.25,
         limit: int = 200_000,
+        group_size: int = 1,
     ) -> None:
         self.runtime = runtime
         self._obs = getattr(runtime, "obs", NULL_RECORDER)
@@ -53,6 +54,14 @@ class VoteLedger:
         self._abcast = abcast
         self.retry_interval = retry_interval
         self.limit = limit
+        #: Records grouped into one :class:`VoteRecordGroup` proposal
+        #: (docs/PROTOCOL.md §18).  1 = propose each record as its own
+        #: log value, exactly the pre-batching behavior.
+        self.group_size = group_size
+        #: Records awaiting the next grouped proposal (leader only; the
+        #: retry path keeps re-proposing from the outbox individually,
+        #: so a never-flushed group costs latency, not liveness).
+        self._group: list[VoteRecord] = []
         #: Injected by the server: is this replica its partition's leader?
         self.is_leader: Callable[[], bool] = lambda: True
         #: (tid, voting partition) -> None for every record already
@@ -91,8 +100,36 @@ class VoteLedger:
         record = VoteRecord(tid=tid, partition=partition, vote=vote, involved=involved)
         self._outbox[key] = record
         if self.is_leader():
-            self._abcast(self.partition, record)
+            if self.group_size > 1:
+                self._group.append(record)
+                if len(self._group) >= self.group_size:
+                    self.flush_group()
+            else:
+                self._abcast(self.partition, record)
         self._arm_retry()
+
+    def flush_group(self) -> None:
+        """Propose the buffered records as one grouped log value.
+
+        Called by the server at every delivery-batch boundary (and when
+        the group fills).  Records already seen delivered — a retry or
+        another replica's proposal won the race — are dropped here; a
+        stale survivor is still harmless thanks to delivery-side dedup.
+        """
+        if not self._group:
+            return
+        records = tuple(
+            record
+            for record in self._group
+            if (record.tid, record.partition) not in self._applied
+        )
+        self._group.clear()
+        if not records:
+            return
+        if len(records) == 1:
+            self._abcast(self.partition, records[0])
+        else:
+            self._abcast(self.partition, VoteRecordGroup(records=records))
 
     def _arm_retry(self) -> None:
         if self._retry_armed or self.retry_interval is None or not self._outbox:

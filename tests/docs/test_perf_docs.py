@@ -1,0 +1,56 @@
+"""docs/PERFORMANCE.md is the benchmark catalogue — keep it honest.
+
+Every ``benchmarks/bench_*.py`` must be listed there (backticked, like
+code), and every committed ``benchmarks/BENCH_*.json`` baseline must
+parse against the schema the page documents (§2): a ``"benchmark"``
+string plus exactly one of ``"results"`` (a non-empty list of cell
+dicts) or ``"result"`` (a single cell dict).
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[2]
+PERFORMANCE = (REPO / "docs" / "PERFORMANCE.md").read_text()
+
+BENCH_SCRIPTS = sorted((REPO / "benchmarks").glob("bench_*.py"))
+BASELINES = sorted((REPO / "benchmarks").glob("BENCH_*.json"))
+
+
+def test_benchmarks_exist():
+    assert BENCH_SCRIPTS, "no benchmark scripts found"
+    assert BASELINES, "no committed baselines found"
+
+
+@pytest.mark.parametrize("script", BENCH_SCRIPTS, ids=lambda p: p.name)
+def test_every_benchmark_script_is_catalogued(script):
+    assert f"`benchmarks/{script.name}`" in PERFORMANCE, (
+        f"benchmarks/{script.name} is missing from docs/PERFORMANCE.md §1"
+    )
+
+
+@pytest.mark.parametrize("baseline", BASELINES, ids=lambda p: p.name)
+def test_every_baseline_is_catalogued(baseline):
+    assert f"`benchmarks/{baseline.name}`" in PERFORMANCE, (
+        f"benchmarks/{baseline.name} is missing from docs/PERFORMANCE.md"
+    )
+
+
+@pytest.mark.parametrize("baseline", BASELINES, ids=lambda p: p.name)
+def test_baseline_matches_documented_schema(baseline):
+    data = json.loads(baseline.read_text())
+    assert isinstance(data, dict)
+    assert isinstance(data.get("benchmark"), str) and data["benchmark"]
+    has_results = "results" in data
+    has_result = "result" in data
+    assert has_results != has_result, (
+        f"{baseline.name}: exactly one of 'results'/'result' required"
+    )
+    cells = data["results"] if has_results else [data["result"]]
+    assert cells, f"{baseline.name}: empty results"
+    for cell in cells:
+        assert isinstance(cell, dict) and cell, (
+            f"{baseline.name}: cells must be non-empty objects"
+        )

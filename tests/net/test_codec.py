@@ -1,0 +1,105 @@
+"""Tests of the struct-packed binary codec (repro.net.codec).
+
+The packed codec shares the message registry with the JSON codec but
+writes positional fields with 1-byte type tags and varint lengths — no
+field names on the wire.  Every registered protocol message must
+round-trip it (the wire-coverage sample list is reused wholesale), and
+frames must be smaller than their JSON equivalents.
+"""
+
+import pytest
+
+from repro.errors import CodecError
+from repro.net.asyncio_transport import Envelope
+from repro.net.codec import (
+    CODECS,
+    decode_packed,
+    encode_packed,
+    get_codec,
+    packed_roundtrip,
+)
+from repro.net.message import decode_message, encode_message
+from tests.net.test_wire_coverage import BLOOM_PROJ, PROJ, SAMPLES, TID
+
+
+@pytest.mark.parametrize("msg", SAMPLES, ids=lambda m: type(m).__name__)
+def test_every_protocol_message_roundtrips_packed(msg):
+    decoded = packed_roundtrip(msg)
+    assert decoded == msg
+    assert type(decoded) is type(msg)
+
+
+def test_bloom_digest_still_queries_after_packed_roundtrip():
+    decoded = packed_roundtrip(BLOOM_PROJ)
+    assert decoded.readset.contains_any(["1/x"])
+    assert not decoded.readset.contains_any(["1/definitely-not-there"])
+
+
+def test_envelope_roundtrips_with_nested_payload():
+    envelope = Envelope(src="s1", payload=PROJ)
+    assert packed_roundtrip(envelope) == envelope
+
+
+def test_packed_frames_are_smaller_than_json():
+    for msg in SAMPLES:
+        packed = len(encode_packed(msg))
+        json_size = len(encode_message(msg))
+        assert packed < json_size, (
+            f"{type(msg).__name__}: packed {packed} >= json {json_size}"
+        )
+
+
+def test_scalar_edge_values_roundtrip():
+    from repro.core.messages import ReadResponse
+
+    for value in (None, True, False, 0, -1, 2**62, -(2**62), 2**80, 0.5, -1e300,
+                  "", "κλειδί", b"\x00\xff", [], {}, [1, [2, {"k": (3,)}]]):
+        msg = ReadResponse(
+            tid=TID, op_id=0, key="k", value=value, snapshot=0,
+            item_version=0, partition="p0",
+        )
+        assert packed_roundtrip(msg) == msg
+
+
+def test_trailing_bytes_rejected():
+    data = encode_packed(PROJ) + b"\x00"
+    with pytest.raises(CodecError, match="trailing"):
+        decode_packed(data)
+
+
+def test_truncated_frame_rejected():
+    data = encode_packed(PROJ)
+    with pytest.raises(CodecError):
+        decode_packed(data[: len(data) // 2])
+
+
+def test_unknown_type_tag_rejected():
+    with pytest.raises(CodecError):
+        decode_packed(b"\xfe")
+
+
+def test_get_codec_returns_matching_pairs():
+    for name in ("json", "packed"):
+        encode, decode = get_codec(name)
+        assert decode(encode(PROJ)) == PROJ
+    assert get_codec("json") == CODECS["json"]
+    assert get_codec("json")[0] is encode_message
+    assert get_codec("json")[1] is decode_message
+
+
+def test_get_codec_unknown_name_raises():
+    with pytest.raises(CodecError, match="msgpack"):
+        get_codec("msgpack")
+
+
+def test_sim_network_roundtrips_through_packed_codec():
+    from repro.runtime.sim import SimWorld
+
+    world = SimWorld(codec_roundtrip=True, codec="packed")
+    received = []
+    world.network.register("a", lambda src, msg: None)
+    world.network.register("b", lambda src, msg: received.append(msg))
+    world.network.send("a", "b", PROJ)
+    world.run_for(1.0)
+    assert received == [PROJ]
+    assert world.network.bytes_sent == len(encode_packed(PROJ))

@@ -29,6 +29,7 @@ from repro.core.messages import (
     CommitRequest,
     GetSnapshotVector,
     NoopTick,
+    OutcomeBatch,
     OutcomeNotice,
     ReadRequest,
     ReadResponse,
@@ -47,7 +48,7 @@ from repro.reconfig.messages import (
     InstallMigration,
     StaleEpochNotice,
 )
-from repro.termination.messages import VoteRecord
+from repro.termination.messages import VoteRecord, VoteRecordGroup
 
 TID = TxnId("c9", 42)
 PROJ = TxnProjection(
@@ -108,6 +109,8 @@ SAMPLES = [
     SnapshotVectorReply(tid=TID, vector={"p0": 4, "p1": 9}),
     CommitRequest(tid=TID, projections={"p0": PROJ, "p1": BLOOM_PROJ}),
     OutcomeNotice(tid=TID, outcome="commit", partition="p0"),
+    # Batched replies (docs/PROTOCOL.md §18): one frame per client per batch.
+    OutcomeBatch(partition="p0", outcomes=((TID, "commit"), (TxnId("c9", 43), "abort"))),
     NoopTick(),
     AbortRequest(
         tid=TID, partition="p1", requester="p0", involved=("p0", "p1"), client="c9"
@@ -120,6 +123,12 @@ SAMPLES = [
     # Vote ledger (docs/PROTOCOL.md §14): own verdict and relayed flavor.
     VoteRecord(tid=TID, partition="p0", vote="commit", involved=("p0", "p1")),
     VoteRecord(tid=TID, partition="p1", vote="abort"),
+    VoteRecordGroup(
+        records=(
+            VoteRecord(tid=TID, partition="p0", vote="commit", involved=("p0", "p1")),
+            VoteRecord(tid=TxnId("c9", 43), partition="p0", vote="abort"),
+        )
+    ),
     CommitGossip(
         partition="p0",
         sc=9,

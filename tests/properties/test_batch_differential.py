@@ -1,0 +1,278 @@
+"""Differential property: the batched pipeline is bit-identical to the
+sequential one (docs/PROTOCOL.md §18.2).
+
+Certification is deterministic: a server's state is a function of its
+delivery sequence alone (PROTOCOL.md §14's invariant).  Batching must
+not touch that function — a batch boundary may change *when* values are
+processed but never *what* they produce.  This suite scripts the full,
+identical delivery sequence — local and global projections, noop ticks,
+vote records for both the partition's own verdicts and remote ones
+(including contradictory and duplicate votes), duplicate deliveries —
+into two raw servers, one sequential and one batched with
+hypothesis-chosen batch bounds and flush points, and requires their
+final states to match exactly: store contents, SC/DC, certification
+window, completed map, abort buckets, pending remainder, and the
+per-client outcome stream (flattened from ``OutcomeBatch`` replies).
+
+Both servers' own vote *proposals* are dropped by a stub fabric — in a
+cluster, proposal timing alters log interleavings legitimately, so the
+property quantifies over delivery sequences, not proposal schedules;
+vote records reach the servers only as scripted log values.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.batch import BatchingConfig
+from repro.core.config import SdurConfig, ServiceCosts
+from repro.core.directory import ClusterDirectory
+from repro.core.messages import NoopTick, OutcomeBatch, OutcomeNotice
+from repro.core.partitioning import PartitionMap
+from repro.core.server import SdurServer
+from repro.core.transaction import ReadsetDigest, TxnId, TxnProjection
+from repro.termination.messages import VoteRecord
+
+KEYS = [f"0/k{i}" for i in range(6)]
+
+
+class ScriptRuntime:
+    """Immediate-execution runtime: timers are collected, never fired —
+    batched flushes happen only via scripted ``flush_batches`` calls, so
+    both servers see time-independent schedules."""
+
+    def __init__(self) -> None:
+        self.node_id = "s0"
+        self.sent: list[tuple[str, object]] = []
+        self.timers: list[tuple[float, object]] = []
+
+    def now(self) -> float:
+        return 0.0
+
+    def send(self, dst: str, msg) -> None:
+        self.sent.append((dst, msg))
+
+    def set_timer(self, delay, callback):
+        self.timers.append((delay, callback))
+        return self
+
+    def cancel(self) -> None:
+        return None
+
+    def listen(self, handler) -> None:
+        return None
+
+    def rng(self, name: str) -> random.Random:
+        return random.Random(name)
+
+    def execute(self, cost: float, fn) -> None:
+        fn()
+
+    def latency_estimate(self, dst: str) -> float:
+        return 0.0
+
+    def trace(self, category: str, **detail) -> None:
+        return None
+
+
+class DropFabric:
+    def abcast(self, group: str, value) -> None:
+        return None
+
+
+def build_server(batching: BatchingConfig | None, reorder_threshold: int) -> SdurServer:
+    config = SdurConfig(
+        costs=ServiceCosts(),
+        history_window=16,  # small: snapshots can fall below the floor
+        reorder_threshold=reorder_threshold,
+        vote_timeout=None,
+        gossip_interval=None,
+        batching=batching,
+    )
+    return SdurServer(
+        runtime=ScriptRuntime(),
+        partition="p0",
+        directory=ClusterDirectory(
+            partitions={"p0": ["s0"], "p1": ["s9"]}, preferred={"p0": "s0", "p1": "s9"}
+        ),
+        partition_map=PartitionMap.by_index(2),
+        fabric=DropFabric(),
+        config=config,
+    )
+
+
+# One abstract step of the delivery script.  Vote/dup steps carry a raw
+# index resolved modulo the targets available at concretization time.
+op_strategy = st.one_of(
+    st.tuples(
+        st.just("txn"),
+        st.booleans(),  # is_global
+        st.lists(st.integers(0, len(KEYS) - 1), min_size=1, max_size=3),  # reads
+        st.lists(st.integers(0, len(KEYS) - 1), min_size=1, max_size=2),  # writes
+        st.integers(0, 24),  # snapshot lag (window is 16: some go stale)
+    ),
+    st.tuples(st.just("noop")),
+    st.tuples(
+        st.just("vote"),
+        st.integers(0, 63),  # which global (mod count)
+        st.sampled_from(["p0", "p1"]),
+        st.sampled_from(["commit", "abort"]),
+    ),
+    st.tuples(st.just("dup"), st.integers(0, 63)),  # which txn (mod count)
+)
+
+
+def concretize(ops) -> list[object]:
+    """Turn the abstract script into concrete log values.
+
+    Snapshots are derived by replaying the growing sequence through a
+    throwaway sequential server, exactly like a client reading its own
+    partition: ``snapshot = sc - lag`` is always valid (never ahead of
+    any replica processing the same prefix), so neither server gates.
+    Trailing commit votes close every still-open global so the pending
+    list drains (hanging entries are compared too, via the pendings of
+    scripts whose votes arrive mid-sequence).
+    """
+    oracle = build_server(batching=None, reorder_threshold=0)
+    values: list[object] = []
+    projections: list[TxnProjection] = []
+    globals_: list[TxnProjection] = []
+    voted: set[tuple[TxnId, str]] = set()
+
+    def emit(value) -> None:
+        oracle.on_adeliver(len(values), value)
+        values.append(value)
+
+    for op in ops:
+        kind = op[0]
+        if kind == "txn":
+            _, is_global, reads, writes, lag = op
+            proj = TxnProjection(
+                tid=TxnId("c", len(projections)),
+                partition="p0",
+                readset=ReadsetDigest.exact([KEYS[i] for i in reads]),
+                writeset={KEYS[i]: len(projections) for i in writes},
+                snapshot=max(0, oracle.sc - lag),
+                partitions=("p0", "p1") if is_global else ("p0",),
+                coordinator="s0",
+                client="c",
+            )
+            projections.append(proj)
+            if is_global:
+                globals_.append(proj)
+            emit(proj)
+        elif kind == "noop":
+            emit(NoopTick())
+        elif kind == "vote":
+            if not globals_:
+                continue
+            _, index, partition, vote = op
+            proj = globals_[index % len(globals_)]
+            if (proj.tid, partition) in voted:
+                continue
+            voted.add((proj.tid, partition))
+            emit(
+                VoteRecord(
+                    tid=proj.tid,
+                    partition=partition,
+                    vote=vote,
+                    involved=proj.partitions if partition == "p0" else (),
+                )
+            )
+        elif kind == "dup":
+            if not projections:
+                continue
+            emit(projections[op[1] % len(projections)])
+    for proj in globals_:
+        for partition in ("p0", "p1"):
+            if (proj.tid, partition) not in voted:
+                emit(
+                    VoteRecord(
+                        tid=proj.tid,
+                        partition=partition,
+                        vote="commit",
+                        involved=proj.partitions if partition == "p0" else (),
+                    )
+                )
+    return values
+
+
+def replay(values, batching, flush_points, reorder_threshold) -> SdurServer:
+    server = build_server(batching, reorder_threshold)
+    for instance, value in enumerate(values):
+        server.on_adeliver(instance, value)
+        if batching is not None and instance in flush_points:
+            server.flush_batches()
+    server.flush_batches()
+    return server
+
+
+def state_of(server: SdurServer) -> dict:
+    chains = {
+        key: [(vv.version, vv.value) for vv in chain]
+        for key, chain in server.store._versions.items()
+    }
+    outcomes: list[tuple[str, TxnId, str]] = []
+    for dst, msg in server.runtime.sent:
+        if isinstance(msg, OutcomeNotice):
+            outcomes.append((dst, msg.tid, msg.outcome))
+        elif isinstance(msg, OutcomeBatch):
+            outcomes.extend((dst, tid, outcome) for tid, outcome in msg.outcomes)
+    return {
+        "sc": server.sc,
+        "dc": server.dc,
+        "store": chains,
+        "window": [
+            (r.tid, r.version, r.is_global) for r in server.window._records
+        ],
+        "floor": server.window.floor,
+        "completed": list(server._completed.items()),
+        "pending": [
+            (e.tid, dict(e.votes), e.doomed) for e in server.pending
+        ],
+        "outcomes": outcomes,
+        "committed_local": server.stats.committed_local,
+        "committed_global": server.stats.committed_global,
+        "aborted_certification": server.stats.aborted_certification,
+        "aborted_stale_snapshot": server.stats.aborted_stale_snapshot,
+        "aborted_votes": server.stats.aborted_votes,
+        "aborted_reorder": server.stats.aborted_reorder,
+        "deferred": server.stats.deferred,
+    }
+
+
+@settings(deadline=None, max_examples=60)
+@given(
+    ops=st.lists(op_strategy, min_size=1, max_size=50),
+    max_batch=st.sampled_from([1, 2, 7, 32]),
+    ledger_group=st.sampled_from([1, 4]),
+    flush_points=st.sets(st.integers(0, 49), max_size=8),
+    reorder_threshold=st.sampled_from([0, 2]),
+)
+def test_batched_state_is_bit_identical_to_sequential(
+    ops, max_batch, ledger_group, flush_points, reorder_threshold
+):
+    values = concretize(ops)
+    sequential = replay(values, None, set(), reorder_threshold)
+    batched = replay(
+        values,
+        BatchingConfig(max_batch=max_batch, ledger_group=ledger_group),
+        flush_points,
+        reorder_threshold,
+    )
+    assert state_of(batched) == state_of(sequential)
+    if values:
+        assert batched.stats.batches_delivered >= 1
+
+
+def test_fast_path_actually_engages():
+    """Guard against the fast path silently never firing (the property
+    above would still pass if every value fell back to ``_ingest``)."""
+    ops = [("txn", False, [i % len(KEYS)], [(i + 1) % len(KEYS)], 0) for i in range(12)]
+    values = concretize(ops)
+    batched = replay(values, BatchingConfig(max_batch=4), set(), 0)
+    assert batched.stats.committed_local == 12
+    assert batched.stats.batch_certify_ns > 0
+    assert batched.stats.batch_size_max == 4
