@@ -48,6 +48,7 @@ from repro.geo.deployments import lan_deployment, wan1_deployment, wan2_deployme
 from repro.harness.cluster import SdurCluster, build_cluster
 from repro.harness.driver import ClosedLoopDriver, OpenLoopDriver, run_experiment, run_open_loop
 from repro.overload.admission import AdmissionConfig
+from repro.telemetry import HealthConfig, MetricRegistry, TelemetryConfig
 
 __version__ = "0.1.0"
 
@@ -58,6 +59,8 @@ __all__ = [
     "ClosedLoopDriver",
     "OpenLoopDriver",
     "DelayMode",
+    "HealthConfig",
+    "MetricRegistry",
     "Outcome",
     "PartitionMap",
     "Read",
@@ -67,6 +70,7 @@ __all__ = [
     "SdurConfig",
     "SdurServer",
     "ServiceCosts",
+    "TelemetryConfig",
     "TxnId",
     "TxnResult",
     "build_classic_dur",

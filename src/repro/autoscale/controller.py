@@ -23,6 +23,7 @@ from repro.autoscale.config import AutoscaleConfig
 from repro.autoscale.hotkeys import SpaceSavingTracker
 from repro.autoscale.monitor import LoadMonitor
 from repro.autoscale.policy import ScalePolicy
+from repro.telemetry.wiring import build_autoscale_registry
 
 if TYPE_CHECKING:
     from repro.harness.cluster import SdurCluster
@@ -42,6 +43,9 @@ class AutoscaleController:
         #: Actuation log ``(time, action, partition, into)`` for tests
         #: and experiment reports.
         self.events: list[tuple[float, str, str, str]] = []
+        #: §19 telemetry over the loop's own counters; sampled as the
+        #: pseudo-node "autoscale" when telemetry is enabled.
+        self.registry = build_autoscale_registry(self)
         self._armed = False
 
     # ------------------------------------------------------------------

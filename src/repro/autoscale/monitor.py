@@ -1,13 +1,16 @@
 """Load monitoring: per-partition pressure signals for the scale policy.
 
-The monitor samples every server's counters (certification throughput,
-delivery backlog, admission shedding) on the controller's tick, converts
-them to rates, averages across a partition's replicas — every replica
-certifies every transaction of its partition, so replica rates are
-estimates of the same quantity, not shares of it — and smooths the
-combined *pressure* signal with an EWMA so one bursty sample cannot
-trigger a migration.  Hot keys come from the per-server space-saving
-sketches (:mod:`repro.autoscale.hotkeys`), summed across replicas.
+The monitor reads every server's §19 metric registry (the declared
+``sdur_certified`` / ``sdur_shed_total`` / ``sdur_queue_depth``
+metrics) on the controller's tick, converts the counters to rates,
+averages across a partition's replicas — every replica certifies every
+transaction of its partition, so replica rates are estimates of the
+same quantity, not shares of it — and smooths the combined *pressure*
+signal with an EWMA so one bursty sample cannot trigger a migration.
+The rate/smoothing plumbing is the shared :mod:`repro.telemetry.series`
+machinery (:class:`RateTracker`, :class:`Ewma`), not private state.
+Hot keys come from the per-server space-saving sketches
+(:mod:`repro.autoscale.hotkeys`), summed across replicas.
 """
 
 from __future__ import annotations
@@ -17,6 +20,7 @@ from typing import TYPE_CHECKING
 
 from repro.autoscale.config import AutoscaleConfig
 from repro.autoscale.hotkeys import SpaceSavingTracker
+from repro.telemetry.series import Ewma, RateTracker
 
 if TYPE_CHECKING:
     from repro.harness.cluster import SdurCluster
@@ -39,37 +43,34 @@ class PartitionLoad:
 
 
 class LoadMonitor:
-    """Turns raw server counters into per-partition pressure signals."""
+    """Turns registry metrics into per-partition pressure signals."""
 
     def __init__(self, cluster: "SdurCluster", config: AutoscaleConfig) -> None:
         self.cluster = cluster
         self.config = config
-        #: node -> (sample time, certified total, shed total).
-        self._last: dict[str, tuple[float, int, int]] = {}
+        #: node -> rate trackers over the monotonic registry counters.
+        self._certified: dict[str, RateTracker] = {}
+        self._shed: dict[str, RateTracker] = {}
         #: partition -> smoothed pressure.
-        self._ewma: dict[str, float] = {}
+        self._ewma: dict[str, Ewma] = {}
 
     def sample(self, now: float) -> dict[str, PartitionLoad]:
         """One monitoring pass over every active partition."""
-        per_partition: dict[str, list[tuple[float, float, int]]] = {}
+        per_partition: dict[str, list[tuple[float, float, float]]] = {}
         for node_id, handle in self.cluster.servers.items():
-            stats = handle.server.stats
-            certified = stats.committed + stats.aborted
-            previous = self._last.get(node_id)
-            self._last[node_id] = (now, certified, stats.shed_total)
-            if previous is None:
-                continue  # first sighting: no rate yet
-            then, last_certified, last_shed = previous
-            elapsed = now - then
-            if elapsed <= 0:
-                continue
-            rate = (certified - last_certified) / elapsed
-            shed = (stats.shed_total - last_shed) / elapsed
+            registry = handle.server.registry
+            tracker = self._certified.get(node_id)
+            if tracker is None:
+                tracker = self._certified[node_id] = RateTracker()
+                self._shed[node_id] = RateTracker()
+            rate = tracker.update(now, registry.value("sdur_certified"))
+            shed = self._shed[node_id].update(now, registry.value("sdur_shed_total"))
+            if rate is None or shed is None:
+                continue  # first sighting (or clock stall): no rate yet
             per_partition.setdefault(handle.partition, []).append(
-                (rate, shed, stats.queue_depth)
+                (rate, shed, registry.value("sdur_queue_depth"))
             )
         loads: dict[str, PartitionLoad] = {}
-        alpha = self.config.ewma_alpha
         for partition in self.cluster.routing.active_partitions():
             samples = per_partition.get(partition)
             if not samples:
@@ -78,15 +79,15 @@ class LoadMonitor:
             shed_rate = sum(s[1] for s in samples) / len(samples)
             queue_depth = sum(s[2] for s in samples) / len(samples)
             raw = throughput + self.config.queue_weight * queue_depth
-            smoothed = self._ewma.get(partition)
-            smoothed = raw if smoothed is None else alpha * raw + (1 - alpha) * smoothed
-            self._ewma[partition] = smoothed
+            ewma = self._ewma.get(partition)
+            if ewma is None:
+                ewma = self._ewma[partition] = Ewma(self.config.ewma_alpha)
             loads[partition] = PartitionLoad(
                 partition=partition,
                 throughput=throughput,
                 queue_depth=queue_depth,
                 shed_rate=shed_rate,
-                pressure=smoothed,
+                pressure=ewma.update(raw),
             )
         return loads
 

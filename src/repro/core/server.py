@@ -82,6 +82,7 @@ from repro.reconfig.messages import (
 from repro.reconfig.migration import SplitSource, flatten_chains, moved_chains
 from repro.runtime.base import Runtime
 from repro.storage.mvstore import MultiVersionStore
+from repro.telemetry.wiring import build_server_registry
 from repro.termination import VoteLedger, VoteRecord, VoteRecordGroup
 
 
@@ -307,6 +308,24 @@ class SdurServer:
         #: Highest broadcast instance ingested (checkpoint coverage bound).
         self._last_instance = -1
         self._started = False
+        #: §19 live telemetry.  The registry is always built — counters
+        #: and gauges are *bound* readers over existing state, so
+        #: declaring them costs nothing on the hot path — but the two
+        #: histograms only record when ``telemetry_enabled`` is set
+        #: (``cluster.enable_telemetry()``), keeping the disabled path
+        #: allocation-free (tests/telemetry/test_overhead.py).
+        self.telemetry_enabled = False
+        self.registry = build_server_registry(self)
+        self._hist_commit_latency = self.registry.histogram(
+            "sdur_commit_latency",
+            unit="seconds",
+            help="Delivery-to-commit latency per committed transaction.",
+        )
+        self._hist_batch_size = self.registry.histogram(
+            "sdur_batch_size",
+            unit="deliveries",
+            help="Delivery batch size distribution (§18).",
+        )
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -689,6 +708,8 @@ class SdurServer:
         self.stats.batches_delivered += 1
         if len(values) > self.stats.batch_size_max:
             self.stats.batch_size_max = len(values)
+        if self.telemetry_enabled:
+            self._hist_batch_size.observe(float(len(values)))
         self._in_batch = True
         try:
             index = 0
@@ -719,6 +740,8 @@ class SdurServer:
         certification abort the sequential path produces.
         """
         obs = self._obs
+        telemetry = self.telemetry_enabled
+        hist_latency = self._hist_commit_latency
         certifier = self.certifier
         window = self.window
         store = self.store
@@ -776,6 +799,9 @@ class SdurServer:
                 self.stats.hotkey_updates += len(ws_keys)
             self.stats.committed_local += 1
             applied += 1
+            if telemetry:
+                # Fast-path locals commit at their own delivery instant.
+                hist_latency.observe(0.0)
             if obs.enabled:
                 obs.event(
                     "server.complete", self.node_id, tid, outcome=Outcome.COMMIT.value
@@ -1373,6 +1399,10 @@ class SdurServer:
                 self.stats.committed_global += 1
             else:
                 self.stats.committed_local += 1
+            if self.telemetry_enabled:
+                self._hist_commit_latency.observe(
+                    self.runtime.now() - entry.delivered_at
+                )
             self.runtime.trace(
                 "sdur.commit", tid=str(proj.tid), version=version, is_global=proj.is_global
             )

@@ -43,6 +43,7 @@ from repro.experiments import (
     fig4_reorder_wan1,
     fig5_reorder_wan2,
     fig6_social,
+    gray_failure,
     overload,
     reconfig,
     scalability,
@@ -74,6 +75,7 @@ REGISTRY: dict[str, tuple[str, Callable[[bool], ExperimentTable]]] = {
     "O2": ("Region loss and recovery under load", lambda q: overload.run_o2(quick=q)),
     "O3": ("Slow-replica gray failure", lambda q: overload.run_o3(quick=q)),
     "O4": ("Sustained 5x overload: admission on vs off", lambda q: overload.run_o4(quick=q)),
+    "G1": ("Gray-failure detection via live telemetry", lambda q: gray_failure.run(quick=q)),
 }
 
 

@@ -66,6 +66,10 @@ class SdurCluster:
         #: Autoscale controller (repro.autoscale), armed via
         #: :meth:`enable_autoscale`; ``None`` = manual scaling only.
         self.autoscale: Any | None = None
+        #: Live telemetry (repro.telemetry), armed via
+        #: :meth:`enable_telemetry`; ``None`` = end-of-run stats only.
+        self.telemetry: Any | None = None
+        self.health_monitor: Any | None = None
         self._started = False
 
     @property
@@ -130,6 +134,11 @@ class SdurCluster:
         runtime.listen(dispatch)
         handle = ServerHandle(node_id, partition, server, replica)
         self.servers[node_id] = handle
+        if self.telemetry is not None:
+            # Servers created after enable_telemetry (e.g. by a split)
+            # join the sampling set immediately.
+            server.telemetry_enabled = True
+            self.telemetry.attach(node_id, server.registry)
         return handle
 
     def seed(self, data: dict[str, Any]) -> None:
@@ -294,7 +303,53 @@ class SdurCluster:
 
         self.autoscale = AutoscaleController(self, config or AutoscaleConfig())
         self.autoscale.arm()
+        if self.telemetry is not None:
+            self.telemetry.attach("autoscale", self.autoscale.registry)
         return self.autoscale
+
+    def enable_telemetry(self, config: Any | None = None) -> Any:
+        """Arm the :mod:`repro.telemetry` live pipeline on this cluster.
+
+        Attaches every server's :class:`MetricRegistry` to a
+        :class:`TelemetrySampler` ticking on the sim clock, flips the
+        servers' histogram recording on, and wires a
+        :class:`HealthMonitor` over the sampled series (gray-failure
+        detection; read it through :meth:`health`).  Idempotent;
+        returns the sampler.
+        """
+        if self.telemetry is not None:
+            return self.telemetry
+        from repro.telemetry import HealthMonitor, TelemetryConfig, TelemetrySampler
+
+        cfg = config or TelemetryConfig()
+        sampler = TelemetrySampler(cfg, clock=lambda: self.world.now)
+        for node_id, handle in self.servers.items():
+            handle.server.telemetry_enabled = True
+            sampler.attach(node_id, handle.server.registry)
+        if self.autoscale is not None:
+            sampler.attach("autoscale", self.autoscale.registry)
+        self.health_monitor = HealthMonitor(sampler, self._partition_members, cfg.health)
+        sampler.arm(self.world.kernel.schedule)
+        self.telemetry = sampler
+        return sampler
+
+    def _partition_members(self) -> dict[str, list[str]]:
+        """partition -> replica node ids, for the health monitor (always
+        the *current* routing view, so splits/merges are reflected)."""
+        return {
+            partition: list(self.directory.servers_of(partition))
+            for partition in self.routing.active_partitions()
+        }
+
+    def health(self) -> dict:
+        """The health monitor's current verdicts (see OBSERVABILITY.md).
+
+        ``{"degraded": [...], "nodes": {...}, "events": [...]}``; empty
+        when telemetry was never enabled.
+        """
+        if self.health_monitor is None:
+            return {"degraded": [], "nodes": {}, "events": []}
+        return self.health_monitor.report()
 
     # ------------------------------------------------------------------
     # Instrumentation and fault injection
@@ -316,33 +371,14 @@ class SdurCluster:
         return {p: len(m) for p, m in self.directory.partitions.items()}
 
     def server_stats(self) -> dict[str, dict[str, int]]:
-        out: dict[str, dict[str, int]] = {}
-        for node_id, handle in self.servers.items():
-            stats = handle.server.stats
-            out[node_id] = {
-                "committed_local": stats.committed_local,
-                "committed_global": stats.committed_global,
-                "aborted": stats.aborted,
-                "reordered": stats.reordered,
-                "noops_sent": stats.noops_sent,
-                "reads_served": stats.reads_served,
-                "votes_ordered": stats.votes_ordered,
-                "cycles_resolved": stats.cycles_resolved,
-                "vote_ledger_aborts": stats.vote_ledger_aborts,
-                "ctest_calls": stats.ctest_calls,
-                "index_hits": stats.index_hits,
-                "index_fallbacks": stats.index_fallbacks,
-                "admitted": stats.admitted,
-                "shed_total": stats.shed_total,
-                "queue_depth": stats.queue_depth,
-                "queue_depth_max": stats.queue_depth_max,
-                "stall_depth_max": stats.stall_depth_max,
-                "hotkey_updates": stats.hotkey_updates,
-                "batches_delivered": stats.batches_delivered,
-                "batch_size_max": stats.batch_size_max,
-                "batch_certify_ns": stats.batch_certify_ns,
-                "codec_bytes_saved": stats.codec_bytes_saved,
-            }
+        # Served off each server's §19 MetricRegistry: every wire
+        # counter is a registry metric with metadata, and
+        # ``wire_counters()`` replays the historical key set and order
+        # bit-identically (tests/telemetry/test_registry.py).
+        out: dict[str, dict[str, int]] = {
+            node_id: handle.server.registry.wire_counters()
+            for node_id, handle in self.servers.items()
+        }
         if self.autoscale is not None:
             out["autoscale"] = self.autoscale.counters()
         return out

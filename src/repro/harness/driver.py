@@ -190,6 +190,11 @@ def run_experiment(
         driver.stop()
     cluster.world.run(until=warmup + measure + drain)
     collector.ingest_server_stats(cluster.server_stats())
+    if cluster.telemetry is not None:
+        # Hand the live series + health verdicts to the experiment
+        # table layer (the G1 checker reads both off the collector).
+        collector.telemetry = cluster.telemetry
+        collector.health = cluster.health()
     obs = getattr(cluster.world, "obs", None)
     if obs is not None and obs.enabled:
         collector.ingest_obs(obs)
@@ -226,6 +231,11 @@ def run_open_loop(
         driver.stop()
     cluster.world.run(until=warmup + measure + drain)
     collector.ingest_server_stats(cluster.server_stats())
+    if cluster.telemetry is not None:
+        # Hand the live series + health verdicts to the experiment
+        # table layer (the G1 checker reads both off the collector).
+        collector.telemetry = cluster.telemetry
+        collector.health = cluster.health()
     obs = getattr(cluster.world, "obs", None)
     if obs is not None and obs.enabled:
         collector.ingest_obs(obs)

@@ -44,6 +44,11 @@ class MetricsCollector:
         self.server_counters: dict[str, dict[str, int]] = {}
         #: tid -> span tree, when the run traced (``ingest_obs``).
         self.traces: dict[Any, TxnTrace] = {}
+        #: The run's TelemetrySampler, when the cluster had telemetry
+        #: enabled (attached by the harness driver); None otherwise.
+        self.telemetry: Any | None = None
+        #: The health monitor's end-of-run report (``cluster.health()``).
+        self.health: dict | None = None
 
     def record(self, result: TxnResult) -> None:
         self.results.append(result)
@@ -138,9 +143,13 @@ class MetricsCollector:
         aborted = [0] * num_buckets
         shed = [0] * num_buckets
         for result in self.results:
-            index = int((result.finished - start) / bucket)
-            if not 0 <= index < num_buckets or result.finished < start:
+            # Window semantics match in_window()/summary(): closed on
+            # both ends.  A result finishing exactly at ``end`` lands in
+            # the last bucket rather than vanishing off the edge
+            # (index == num_buckets).
+            if result.finished < start or result.finished > end:
                 continue
+            index = min(int((result.finished - start) / bucket), num_buckets - 1)
             if result.committed:
                 committed[index] += 1
             elif result.abort_reason is not None and result.abort_reason.startswith("shed"):

@@ -1,0 +1,67 @@
+"""Live telemetry: metric registry, sampling, health, gray-failure.
+
+The §19 observability layer (docs/OBSERVABILITY.md, "Live telemetry &
+health"): every node carries a :class:`MetricRegistry` of typed,
+documented instruments; a :class:`TelemetrySampler` snapshots them
+periodically into ring-buffered time series; exporters render
+OpenMetrics text, JSONL history, and an ASCII dashboard; a
+:class:`HealthMonitor` computes SLO probes from the series and flags
+gray-failed replicas by relative (MAD) outlier detection.
+
+Enable on a harness cluster with ``cluster.enable_telemetry()``; read
+the verdicts with ``cluster.health()``.  Experiment G1
+(``python -m repro.experiments G1``) is the end-to-end demo.
+"""
+
+from repro.telemetry.config import HealthConfig, TelemetryConfig
+from repro.telemetry.dashboard import render_dashboard, sparkline
+from repro.telemetry.export import (
+    export_jsonl,
+    parse_jsonl,
+    parse_openmetrics,
+    render_openmetrics,
+)
+from repro.telemetry.health import HealthMonitor, ReplicaHealth
+from repro.telemetry.instruments import (
+    Counter,
+    Gauge,
+    HistogramSnapshot,
+    LogLinearHistogram,
+    MetricSpec,
+)
+from repro.telemetry.registry import MetricRegistry
+from repro.telemetry.sampler import TelemetrySampler
+from repro.telemetry.series import Ewma, RateTracker, RingSeries, mad, median
+from repro.telemetry.wiring import (
+    SERVER_WIRE_COUNTERS,
+    build_autoscale_registry,
+    build_server_registry,
+)
+
+__all__ = [
+    "Counter",
+    "Ewma",
+    "Gauge",
+    "HealthConfig",
+    "HealthMonitor",
+    "HistogramSnapshot",
+    "LogLinearHistogram",
+    "MetricRegistry",
+    "MetricSpec",
+    "RateTracker",
+    "ReplicaHealth",
+    "RingSeries",
+    "SERVER_WIRE_COUNTERS",
+    "TelemetryConfig",
+    "TelemetrySampler",
+    "build_autoscale_registry",
+    "build_server_registry",
+    "export_jsonl",
+    "mad",
+    "median",
+    "parse_jsonl",
+    "parse_openmetrics",
+    "render_dashboard",
+    "render_openmetrics",
+    "sparkline",
+]

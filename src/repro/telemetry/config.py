@@ -1,0 +1,49 @@
+"""Telemetry and health-monitor configuration knobs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["TelemetryConfig", "HealthConfig"]
+
+
+@dataclass
+class HealthConfig:
+    """SLO probes and the gray-failure outlier test (OBSERVABILITY.md).
+
+    A replica is an *outlier* on a probe when its value exceeds the
+    partition median by more than ``max(mad_k * MAD, floor)`` — the MAD
+    term scales with genuine spread, the absolute floor keeps the test
+    sane on 3-replica groups where two healthy peers make MAD collapse
+    to ~0.  ``sustain`` consecutive outlier samples flip the replica to
+    ``degraded``; the same count of clean samples flips it back.
+    """
+
+    #: Outlier multiplier on the median absolute deviation.
+    mad_k: float = 3.0
+    #: Consecutive outlier samples before a replica is flagged (and
+    #: consecutive clean samples before it recovers).
+    sustain: int = 3
+    #: Absolute floor for the apply-lag outlier threshold, in versions
+    #: behind the most advanced partition peer.
+    apply_lag_floor: float = 8.0
+    #: Absolute floor for the commit-latency (p99) outlier threshold,
+    #: in seconds.
+    latency_floor: float = 0.02
+    #: Queue-depth SLO: a replica whose delivery backlog exceeds this is
+    #: reported in its probes (informational; outliers drive status).
+    queue_slo: int = 64
+    #: Outlier detection needs at least this many replicas with samples.
+    min_peers: int = 3
+
+
+@dataclass
+class TelemetryConfig:
+    """Sampler knobs: tick interval and per-series ring capacity."""
+
+    #: Seconds between registry snapshots (sim seconds under the
+    #: simulated kernel, wall seconds under ``AioTransport``).
+    interval: float = 0.5
+    #: Ring-buffer capacity of every per-node, per-metric series.
+    capacity: int = 512
+    health: HealthConfig = field(default_factory=HealthConfig)

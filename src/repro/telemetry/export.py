@@ -1,0 +1,150 @@
+"""Exporters: OpenMetrics/Prometheus text and JSONL time series.
+
+Two complementary formats:
+
+* :func:`render_openmetrics` — the *current* value of every metric on
+  every attached node, in the OpenMetrics text exposition format (what
+  a Prometheus scrape endpoint would serve).  Counters get the
+  ``_total`` suffix, histograms expand into ``_bucket{le=...}`` /
+  ``_sum`` / ``_count``, every sample carries a ``node`` label, and the
+  body ends with ``# EOF``.
+* :func:`export_jsonl` — the sampler's full *history*: one JSON object
+  per (sample time, node) with the flat scalar metrics dict.
+
+Both have parsers (:func:`parse_openmetrics`, :func:`parse_jsonl`)
+used by the G1 checker and the round-trip tests — an export you cannot
+read back is a log file, not telemetry.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.telemetry.instruments import LogLinearHistogram
+from repro.telemetry.registry import MetricRegistry
+from repro.telemetry.sampler import TelemetrySampler
+
+__all__ = [
+    "render_openmetrics",
+    "parse_openmetrics",
+    "export_jsonl",
+    "parse_jsonl",
+]
+
+
+def _fmt(value: float) -> str:
+    """OpenMetrics number formatting: ints stay ints, floats use repr
+    (shortest round-trippable form)."""
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int) or (isinstance(value, float) and value.is_integer()):
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_openmetrics(registries: dict[str, MetricRegistry]) -> str:
+    """Current values of every metric, OpenMetrics text format."""
+    # Group by metric name across nodes so each family is declared once.
+    families: dict[str, list[tuple[str, object]]] = {}
+    specs: dict[str, object] = {}
+    for node, registry in registries.items():
+        for spec in registry.specs():
+            specs.setdefault(spec.name, spec)
+            families.setdefault(spec.name, []).append((node, registry.get(spec.name)))
+    lines: list[str] = []
+    for name in families:
+        spec = specs[name]
+        lines.append(f"# HELP {name} {spec.help}")
+        lines.append(f"# TYPE {name} {spec.kind}")
+        if spec.unit and spec.unit != "1":
+            lines.append(f"# UNIT {name} {spec.unit}")
+        for node, metric in families[name]:
+            label = f'{{node="{node}"}}'
+            if isinstance(metric, LogLinearHistogram):
+                for upper, cumulative in metric.cumulative_buckets():
+                    lines.append(
+                        f'{name}_bucket{{node="{node}",le="{_fmt(upper)}"}} {cumulative}'
+                    )
+                lines.append(f'{name}_bucket{{node="{node}",le="+Inf"}} {metric.count}')
+                lines.append(f"{name}_sum{label} {_fmt(metric.total)}")
+                lines.append(f"{name}_count{label} {metric.count}")
+            elif metric.spec.kind == "counter":
+                lines.append(f"{name}_total{label} {_fmt(metric.read())}")
+            else:
+                lines.append(f"{name}{label} {_fmt(metric.read())}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def parse_openmetrics(text: str) -> dict[str, dict[str, float]]:
+    """Parse an OpenMetrics body back into ``{node: {metric: value}}``.
+
+    Counter ``_total`` suffixes are stripped; histogram series keep
+    their ``_bucket``/``_sum``/``_count`` suffixed names (buckets keyed
+    as ``name_bucket{le=X}``).  Raises ``ValueError`` on a body that
+    does not end with ``# EOF`` or on an unparseable sample line.
+    """
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines or lines[-1] != "# EOF":
+        raise ValueError("OpenMetrics body must end with # EOF")
+    types: dict[str, str] = {}
+    out: dict[str, dict[str, float]] = {}
+    for line in lines[:-1]:
+        if line.startswith("# TYPE "):
+            _, _, name, kind = line.split(" ", 3)
+            types[name] = kind
+            continue
+        if line.startswith("#"):
+            continue
+        try:
+            series, value_text = line.rsplit(" ", 1)
+            value = float(value_text)
+        except ValueError as exc:
+            raise ValueError(f"unparseable sample line: {line!r}") from exc
+        labels = ""
+        name = series
+        if "{" in series:
+            name, labels = series.split("{", 1)
+            labels = labels.rstrip("}")
+        fields = dict(
+            part.split("=", 1) for part in labels.split(",") if "=" in part
+        )
+        node = fields.get("node", '"?"').strip('"')
+        key = name
+        if name.endswith("_total") and types.get(name[: -len("_total")]) == "counter":
+            key = name[: -len("_total")]
+        elif name.endswith("_bucket"):
+            key = f"{name}{{le={fields.get('le', '').strip(chr(34))}}}"
+        out.setdefault(node, {})[key] = value
+    return out
+
+
+def export_jsonl(sampler: TelemetrySampler) -> str:
+    """The sampler's history: one JSON line per (sample time, node)."""
+    rows: list[tuple[float, str, dict[str, float]]] = []
+    for node, metrics in sorted(sampler.series.items()):
+        per_time: dict[float, dict[str, float]] = {}
+        for metric, series in metrics.items():
+            for t, value in series.items():
+                per_time.setdefault(t, {})[metric] = value
+        for t in sorted(per_time):
+            rows.append((t, node, per_time[t]))
+    rows.sort(key=lambda r: (r[0], r[1]))
+    return "".join(
+        json.dumps({"t": t, "node": node, "metrics": metrics}) + "\n"
+        for t, node, metrics in rows
+    )
+
+
+def parse_jsonl(text: str) -> list[dict]:
+    """Parse a JSONL export back into its row dicts (raises on bad JSON
+    or a row missing the t/node/metrics fields)."""
+    rows = []
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        row = json.loads(line)
+        if not {"t", "node", "metrics"} <= row.keys():
+            raise ValueError(f"telemetry row missing fields: {line!r}")
+        rows.append(row)
+    return rows

@@ -1,0 +1,156 @@
+"""`HealthMonitor`: SLO probes and gray-failure detection over series.
+
+A gray-failed replica is alive — it answers pings, participates in
+Paxos — but runs far slower than its peers, which is *worse* than a
+crash because nothing times out.  Absolute thresholds can't catch it
+(what's "slow" depends on the workload), so the monitor is purely
+**relative**: at every telemetry sample it compares each replica to its
+partition peers and flags the outliers.
+
+Probes per replica, recomputed each sample from the registry series:
+
+* ``apply_lag`` — versions behind the most advanced partition peer
+  (``max(peer sc) - own sc``).  The primary gray-failure signal: a
+  replica applying at rate *r* with an extra per-apply delay *d*
+  falls behind by ~``r*d`` versions per second, visible long before
+  goodput collapses (only the *preferred* replica serves clients).
+* ``commit_p99`` — the replica's own commit-latency p99 (histogram).
+* ``queue_depth`` — current delivery backlog, vs ``queue_slo``.
+* ``ledger_outbox`` — vote-ledger stall depth (proposed, undelivered).
+
+Outlier test (per probe, across the partition's replicas): value is an
+outlier iff ``value > median + max(mad_k * MAD, floor)``.  MAD is the
+robust spread estimator; the absolute floor keeps 3-replica groups
+honest, where two healthy peers drive MAD to ~0 and any noise would
+otherwise flag.  ``sustain`` consecutive outlier samples flip the
+replica to ``degraded`` (an event is recorded); ``sustain`` clean
+samples flip it back.  Experiment G1 exercises the whole loop against
+an injected slow replica.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.telemetry.config import HealthConfig
+from repro.telemetry.sampler import TelemetrySampler
+from repro.telemetry.series import mad, median
+
+__all__ = ["HealthMonitor", "ReplicaHealth"]
+
+
+@dataclass
+class ReplicaHealth:
+    """Mutable per-replica detector state plus the latest probes."""
+
+    node: str
+    partition: str
+    status: str = "ok"  # "ok" | "degraded"
+    bad_streak: int = 0
+    good_streak: int = 0
+    since: float | None = None  # time of the last status flip
+    reason: str = ""
+    probes: dict[str, float] = field(default_factory=dict)
+
+
+class HealthMonitor:
+    """Subscribes to a sampler; keeps per-replica health state."""
+
+    def __init__(
+        self,
+        sampler: TelemetrySampler,
+        members: Callable[[], dict[str, list[str]]],
+        config: HealthConfig | None = None,
+    ) -> None:
+        self.sampler = sampler
+        self._members = members
+        self.config = config or HealthConfig()
+        self.nodes: dict[str, ReplicaHealth] = {}
+        #: (t, node, new_status, reason) transitions, in sample order.
+        self.events: list[tuple[float, str, str, str]] = []
+        sampler.on_sample(self.on_sample)
+
+    # -- detection ------------------------------------------------------
+    def _outliers(
+        self, values: dict[str, float], floor: float
+    ) -> tuple[dict[str, float], float]:
+        """node -> excess-over-threshold for outlier nodes, + threshold."""
+        population = list(values.values())
+        threshold = median(population) + max(self.config.mad_k * mad(population), floor)
+        return {n: v - threshold for n, v in values.items() if v > threshold}, threshold
+
+    def on_sample(self, t: float, flat: dict[str, dict[str, float]]) -> None:
+        cfg = self.config
+        for partition, nodes in self._members().items():
+            sampled = [n for n in nodes if n in flat]
+            if len(sampled) < cfg.min_peers:
+                continue
+            sc = {n: flat[n].get("sdur_sc", 0.0) for n in sampled}
+            top = max(sc.values())
+            lag = {n: top - v for n, v in sc.items()}
+            p99 = {n: flat[n].get("sdur_commit_latency:p99", 0.0) for n in sampled}
+            lag_out, _ = self._outliers(lag, cfg.apply_lag_floor)
+            p99_out, _ = self._outliers(p99, cfg.latency_floor)
+            for node in sampled:
+                health = self.nodes.get(node)
+                if health is None:
+                    health = self.nodes[node] = ReplicaHealth(node, partition)
+                health.partition = partition
+                health.probes = {
+                    "apply_lag": lag[node],
+                    "commit_p99": p99[node],
+                    "queue_depth": flat[node].get("sdur_queue_depth", 0.0),
+                    "ledger_outbox": flat[node].get("sdur_ledger_outbox", 0.0),
+                }
+                reasons = []
+                if node in lag_out:
+                    reasons.append(f"apply_lag {lag[node]:.0f} versions behind peers")
+                if node in p99_out:
+                    reasons.append(f"commit_p99 {p99[node]:.3f}s above peers")
+                if health.probes["queue_depth"] > cfg.queue_slo:
+                    # SLO breach is reported but does not alone flag the
+                    # replica: overload hits all replicas alike, gray
+                    # failure is the *relative* signal.
+                    health.probes["queue_slo_breach"] = 1.0
+                self._step(health, t, bool(reasons), "; ".join(reasons))
+
+    def _step(self, health: ReplicaHealth, t: float, bad: bool, reason: str) -> None:
+        sustain = self.config.sustain
+        if bad:
+            health.bad_streak += 1
+            health.good_streak = 0
+            health.reason = reason
+            if health.status == "ok" and health.bad_streak >= sustain:
+                health.status = "degraded"
+                health.since = t
+                self.events.append((t, health.node, "degraded", reason))
+        else:
+            health.good_streak += 1
+            health.bad_streak = 0
+            if health.status == "degraded" and health.good_streak >= sustain:
+                health.status = "ok"
+                health.since = t
+                health.reason = ""
+                self.events.append((t, health.node, "ok", "recovered"))
+
+    # -- reporting ------------------------------------------------------
+    def degraded(self) -> list[str]:
+        return sorted(n for n, h in self.nodes.items() if h.status == "degraded")
+
+    def report(self) -> dict:
+        """The ``cluster.health()`` payload."""
+        return {
+            "degraded": self.degraded(),
+            "nodes": {
+                node: {
+                    "partition": h.partition,
+                    "status": h.status,
+                    "since": h.since,
+                    "reason": h.reason,
+                    "probes": dict(h.probes),
+                }
+                for node, h in sorted(self.nodes.items())
+            },
+            "events": list(self.events),
+        }

@@ -1,14 +1,15 @@
 """Unit tests for the load monitor's rate/EWMA pipeline.
 
 The monitor only touches ``cluster.servers`` (node -> handle with
-``.server.stats`` / ``.partition``) and
-``cluster.routing.active_partitions()``, so a duck-typed stub cluster
-keeps these tests synchronous and exact.
+``.server.registry`` — the §19 metric registry — and ``.partition``)
+plus ``cluster.routing.active_partitions()``, so a duck-typed stub
+cluster keeps these tests synchronous and exact.
 """
 
 from dataclasses import dataclass, field
 
 from repro.autoscale import AutoscaleConfig, LoadMonitor, SpaceSavingTracker
+from repro.telemetry import MetricRegistry
 
 
 @dataclass
@@ -23,6 +24,17 @@ class StubStats:
 class StubServer:
     stats: StubStats = field(default_factory=StubStats)
     hot_keys: SpaceSavingTracker | None = None
+
+    def __post_init__(self) -> None:
+        # The same three bound metrics repro.telemetry.wiring declares
+        # on a real server — the monitor's entire read surface.
+        stats = self.stats
+        self.registry = MetricRegistry("stub")
+        self.registry.counter(
+            "sdur_certified", fn=lambda: stats.committed + stats.aborted
+        )
+        self.registry.counter("sdur_shed_total", fn=lambda: stats.shed_total)
+        self.registry.gauge("sdur_queue_depth", fn=lambda: stats.queue_depth)
 
 
 @dataclass

@@ -61,3 +61,22 @@ def test_every_server_counter_is_documented_in_protocol_md():
     protocol = (REPO / "docs" / "PROTOCOL.md").read_text()
     missing = {name for name in counters if f"`{name}`" not in protocol}
     assert not missing, f"counters absent from docs/PROTOCOL.md: {sorted(missing)}"
+
+
+def test_every_registry_metric_is_documented_in_observability_md():
+    """docs/OBSERVABILITY.md §19 must list every metric the telemetry
+    registries declare — server and autoscale alike — so dashboards can
+    be built from the doc without reading wiring.py."""
+    from tests.conftest import make_cluster
+
+    cluster = make_cluster(1)
+    cluster.enable_autoscale()
+    names = {spec.name for spec in cluster.autoscale.registry.specs()}
+    for handle in cluster.servers.values():
+        names |= {spec.name for spec in handle.server.registry.specs()}
+    assert names, "registries declared nothing"
+    observability = (REPO / "docs" / "OBSERVABILITY.md").read_text()
+    missing = {name for name in names if f"`{name}`" not in observability}
+    assert not missing, (
+        f"metrics absent from docs/OBSERVABILITY.md: {sorted(missing)}"
+    )

@@ -42,6 +42,42 @@ class TestWindows:
             MetricsCollector().summary(1.0, 1.0)
 
 
+class TestGoodputTimeline:
+    def test_result_at_exact_window_end_lands_in_last_bucket(self):
+        # Regression: ``finished == end`` used to compute index ==
+        # num_buckets and fall off the timeline even though in_window()
+        # (closed on both ends) counts it.
+        collector = MetricsCollector()
+        collector.record(result(1, finished=2.0))
+        timeline = collector.goodput_timeline(0.0, 2.0, bucket=1.0)
+        assert [row[1] for row in timeline] == [0.0, 1.0]
+        assert len(collector.in_window(0.0, 2.0)) == 1
+
+    def test_timeline_totals_match_in_window(self):
+        collector = MetricsCollector()
+        for i in range(9):
+            collector.record(result(i, finished=0.5 + i * 0.25))  # 0.5 .. 2.5
+        start, end = 1.0, 2.0
+        timeline = collector.goodput_timeline(start, end, bucket=0.5)
+        counted = sum(row[1] + row[2] + row[3] for row in timeline) * 0.5
+        assert counted == len(collector.in_window(start, end))
+
+    def test_shed_split_from_aborts(self):
+        collector = MetricsCollector()
+        shed = result(1, finished=0.5, committed=False)
+        shed = shed.__class__(**{**shed.__dict__, "abort_reason": "shed (queue)"})
+        collector.record(shed)
+        collector.record(result(2, finished=0.5, committed=False))
+        ((_, committed, aborted, sheds),) = collector.goodput_timeline(
+            0.0, 1.0, bucket=1.0
+        )
+        assert (committed, aborted, sheds) == (0.0, 1.0, 1.0)
+
+    def test_bucket_must_be_positive(self):
+        with pytest.raises(ValueError):
+            MetricsCollector().goodput_timeline(0.0, 1.0, bucket=0.0)
+
+
 class TestFilters:
     def test_global_local_split(self):
         collector = MetricsCollector()

@@ -1,0 +1,132 @@
+"""HealthMonitor: MAD outlier detection, streaks, recovery, reporting.
+
+Driven synthetically: three stub registries whose ``sdur_sc`` gauges we
+script directly, sampled on a manual clock — so every threshold
+crossing is exact and the tests document the detector's arithmetic.
+"""
+
+from repro.telemetry import (
+    HealthConfig,
+    HealthMonitor,
+    MetricRegistry,
+    TelemetryConfig,
+    TelemetrySampler,
+)
+
+
+class Rig:
+    """Three replicas of p0 with scriptable sc/p99 values."""
+
+    def __init__(self, config: HealthConfig | None = None) -> None:
+        self.sc = {"s1": 0.0, "s2": 0.0, "s3": 0.0}
+        self.p99 = {"s1": 0.0, "s2": 0.0, "s3": 0.0}
+        self.clock = [0.0]
+        self.sampler = TelemetrySampler(TelemetryConfig(), clock=lambda: self.clock[0])
+        for node in self.sc:
+            registry = MetricRegistry(node)
+            registry.gauge("sdur_sc", fn=lambda n=node: self.sc[n])
+            hist = registry.histogram("sdur_commit_latency")
+            # Keep p99 scriptable without observing samples: overwrite
+            # the snapshot path via a gauge-shaped derived metric is not
+            # possible, so script latency through sc only and leave the
+            # histogram empty (p99 = 0 for everyone: never an outlier).
+            del hist
+            self.sampler.attach(node, registry)
+        self.monitor = HealthMonitor(
+            self.sampler,
+            members=lambda: {"p0": ["s1", "s2", "s3"]},
+            config=config or HealthConfig(mad_k=3.0, sustain=3, apply_lag_floor=8.0),
+        )
+
+    def tick(self, **sc: float) -> None:
+        self.clock[0] += 0.5
+        for node, value in sc.items():
+            self.sc[node] = value
+        self.sampler.sample()
+
+
+class TestDetection:
+    def test_healthy_cluster_never_flags(self):
+        rig = Rig()
+        for i in range(10):
+            # Normal jitter: replicas within a couple versions.
+            rig.tick(s1=i * 100.0, s2=i * 100.0 - 2, s3=i * 100.0 - 1)
+        assert rig.monitor.degraded() == []
+        assert rig.monitor.events == []
+
+    def test_lagging_replica_flags_after_sustain_samples(self):
+        rig = Rig()
+        rig.tick(s1=100, s2=100, s3=100)
+        for i in range(1, 4):  # s3 falls 20 versions/sample behind
+            rig.tick(s1=100 + i * 100, s2=100 + i * 100, s3=100 + i * 80)
+        assert rig.monitor.degraded() == ["s3"]
+        ((t, node, status, reason),) = rig.monitor.events
+        assert (node, status) == ("s3", "degraded")
+        assert "apply_lag" in reason
+        assert t == rig.clock[0]  # flagged on the 3rd outlier sample
+
+    def test_two_outlier_samples_do_not_flag(self):
+        rig = Rig()
+        rig.tick(s1=0, s2=0, s3=0)
+        rig.tick(s1=100, s2=100, s3=50)
+        rig.tick(s1=200, s2=200, s3=150)
+        assert rig.monitor.degraded() == []
+        rig.tick(s1=300, s2=300, s3=300)  # caught back up: streak resets
+        rig.tick(s1=400, s2=400, s3=350)
+        rig.tick(s1=500, s2=500, s3=450)
+        assert rig.monitor.degraded() == []
+
+    def test_lag_below_absolute_floor_never_flags(self):
+        # MAD is 0 when two replicas agree exactly; without the floor a
+        # 1-version lag would be an outlier.  With floor=8 it is not.
+        rig = Rig()
+        for i in range(10):
+            rig.tick(s1=i * 10.0, s2=i * 10.0, s3=i * 10.0 - 5)
+        assert rig.monitor.degraded() == []
+
+    def test_recovery_after_sustain_clean_samples(self):
+        rig = Rig()
+        rig.tick(s1=0, s2=0, s3=0)
+        for i in range(1, 5):
+            rig.tick(s1=i * 100, s2=i * 100, s3=i * 50)
+        assert rig.monitor.degraded() == ["s3"]
+        for i in range(5, 9):  # s3 catches up and stays caught up
+            rig.tick(s1=i * 100, s2=i * 100, s3=i * 100)
+        assert rig.monitor.degraded() == []
+        statuses = [status for (_, _, status, _) in rig.monitor.events]
+        assert statuses == ["degraded", "ok"]
+
+    def test_small_partitions_are_skipped(self):
+        rig = Rig()
+        rig.monitor._members = lambda: {"p0": ["s1", "s2"]}  # < min_peers
+        for i in range(6):
+            rig.tick(s1=i * 100.0, s2=0.0, s3=0.0)
+        assert rig.monitor.nodes == {}
+
+
+class TestReport:
+    def test_report_shape(self):
+        rig = Rig()
+        rig.tick(s1=0, s2=0, s3=0)
+        for i in range(1, 4):
+            rig.tick(s1=i * 100, s2=i * 100, s3=i * 60)
+        report = rig.monitor.report()
+        assert report["degraded"] == ["s3"]
+        assert report["nodes"]["s3"]["status"] == "degraded"
+        assert report["nodes"]["s3"]["partition"] == "p0"
+        assert report["nodes"]["s3"]["probes"]["apply_lag"] == 120.0
+        assert report["nodes"]["s1"]["status"] == "ok"
+        assert report["events"] == rig.monitor.events
+
+    def test_queue_slo_breach_is_reported_not_flagged(self):
+        config = HealthConfig(queue_slo=4)
+        rig = Rig(config)
+        for node in rig.sc:
+            rig.sampler.registries[node].gauge("sdur_queue_depth", fn=lambda: 10.0)
+        for i in range(6):
+            rig.tick(s1=i * 10.0, s2=i * 10.0, s3=i * 10.0)
+        # Every replica over the SLO: reported in probes, nobody flagged
+        # (overload is absolute, gray failure is relative).
+        assert rig.monitor.degraded() == []
+        for node_report in rig.monitor.report()["nodes"].values():
+            assert node_report["probes"]["queue_slo_breach"] == 1.0

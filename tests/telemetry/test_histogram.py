@@ -1,0 +1,138 @@
+"""Property tests for the log-linear histogram.
+
+Two load-bearing claims from the instruments module's docstring:
+
+* quantile estimates are within the documented relative-error bound of
+  ``1/subbuckets`` vs the exact sample quantile, over-estimating only;
+* ``merge()`` is associative and order-independent (integer bucket
+  addition), so per-replica sketches can be aggregated in any order.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.telemetry import HistogramSnapshot, LogLinearHistogram, MetricSpec
+
+
+def make_hist(subbuckets: int = 32) -> LogLinearHistogram:
+    spec = MetricSpec(name="h", kind="histogram", unit="seconds", help="")
+    return LogLinearHistogram(spec, subbuckets=subbuckets)
+
+
+def exact_quantile(values: list[float], q: float) -> float:
+    """The definition the sketch approximates: the rank
+    ``max(1, ceil(q * n))`` smallest sample."""
+    ordered = sorted(values)
+    return ordered[max(1, math.ceil(q * len(ordered))) - 1]
+
+
+values_strategy = st.lists(
+    st.floats(min_value=1e-6, max_value=1e6, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=300,
+)
+
+
+class TestQuantileBound:
+    @given(values=values_strategy, subbuckets=st.sampled_from([8, 32, 64]))
+    @settings(max_examples=200)
+    def test_estimate_within_documented_relative_error(self, values, subbuckets):
+        hist = make_hist(subbuckets)
+        for v in values:
+            hist.observe(v)
+        for q in (0.5, 0.9, 0.99, 0.999):
+            exact = exact_quantile(values, q)
+            estimate = hist.quantile(q)
+            # Over-estimate only, by at most one linear slice of the
+            # octave: relative error <= 1/subbuckets.
+            assert estimate >= exact * (1 - 1e-12)
+            assert estimate <= exact * (1 + 1.0 / subbuckets) * (1 + 1e-9)
+
+    @given(values=values_strategy)
+    @settings(max_examples=50)
+    def test_count_total_min_max_are_exact(self, values):
+        hist = make_hist()
+        for v in values:
+            hist.observe(v)
+        assert hist.count == len(values)
+        assert math.isclose(hist.total, sum(values), rel_tol=1e-9)
+        assert hist.min == min(values)
+        assert hist.max == max(values)
+
+    def test_empty_histogram(self):
+        hist = make_hist()
+        assert hist.quantile(0.99) == 0.0
+        assert hist.count == 0
+        assert hist.snapshot() == HistogramSnapshot(
+            count=0, total=0.0, min=0.0, max=0.0, p50=0.0, p99=0.0, p999=0.0
+        )
+
+    def test_underflow_bucket(self):
+        hist = make_hist()
+        for _ in range(10):
+            hist.observe(0.0)
+        hist.observe(4.0)
+        assert hist.quantile(0.5) == 0.0
+        assert hist.quantile(0.999) >= 4.0
+
+
+class TestMerge:
+    @given(
+        shards=st.lists(values_strategy, min_size=2, max_size=5),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    @settings(max_examples=100)
+    def test_merge_is_order_independent_and_associative(self, shards, seed):
+        import random
+
+        def sketch(vals):
+            h = make_hist()
+            for v in vals:
+                h.observe(v)
+            return h
+
+        # Left-fold in declaration order…
+        left = sketch([])
+        for shard in shards:
+            left.merge(sketch(shard))
+        # …vs a shuffled right-leaning fold.
+        order = list(shards)
+        random.Random(seed).shuffle(order)
+        right = sketch(order[-1])
+        for shard in reversed(order[:-1]):
+            folded = sketch(shard)
+            folded.merge(right)
+            right = folded
+        assert left._buckets == right._buckets
+        assert left.count == right.count
+        assert left.min == right.min
+        assert left.max == right.max
+        assert math.isclose(left.total, right.total, rel_tol=1e-9, abs_tol=1e-12)
+        for q in (0.5, 0.99, 0.999):
+            assert left.quantile(q) == right.quantile(q)
+
+    @given(values=values_strategy)
+    @settings(max_examples=50)
+    def test_merge_equals_observing_everything(self, values):
+        mid = len(values) // 2
+        a, b = make_hist(), make_hist()
+        for v in values[:mid]:
+            a.observe(v)
+        for v in values[mid:]:
+            b.observe(v)
+        a.merge(b)
+        whole = make_hist()
+        for v in values:
+            whole.observe(v)
+        assert a._buckets == whole._buckets
+        assert a.count == whole.count
+        for q in (0.5, 0.99):
+            assert a.quantile(q) == whole.quantile(q)
+
+    def test_mismatched_subbuckets_refuse_to_merge(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            make_hist(32).merge(make_hist(16))
