@@ -4,9 +4,14 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.core.batch import BatchingConfig
 from repro.overload.admission import AdmissionConfig
+
+if TYPE_CHECKING:
+    # Imported lazily: shardexec needs CertifierMode from this module.
+    from repro.core.shardexec import ShardExecConfig
 
 
 class TerminationMode(str, enum.Enum):
@@ -40,6 +45,21 @@ class CertifierMode(str, enum.Enum):
     #: written.  Kept runnable for the A7 ablation and the differential
     #: property tests.
     SCAN = "scan"
+
+
+class CertExecutorMode(str, enum.Enum):
+    """How certification work for a delivered batch is executed."""
+
+    #: Certify transactions one at a time in delivery order on the
+    #: delivery path (the pre-§19 behavior, and the correctness oracle
+    #: for the sharded executor).
+    SERIAL = "serial"
+    #: Hash-partition the key space into shards, run each delivered
+    #: batch's committed-window checks against all shards concurrently,
+    #: and merge per-shard verdicts in strict delivery order
+    #: (``repro.core.shardexec``; docs/PROTOCOL.md §19).  Requires the
+    #: key-indexed certifier.
+    SHARDED = "sharded"
 
 
 class DelayMode(str, enum.Enum):
@@ -99,6 +119,15 @@ class SdurConfig:
     #: Conflict-check strategy: key-indexed (default) or the reference
     #: window scan (docs/PROTOCOL.md §15; ablation A7).
     certifier: CertifierMode = CertifierMode.INDEX
+    #: Certification executor: SERIAL (default) certifies in delivery
+    #: order; SHARDED fans each delivered batch's committed-window checks
+    #: out over key-range shards and merges verdicts in delivery order
+    #: (docs/PROTOCOL.md §19; ablation A8).
+    cert_executor: CertExecutorMode = CertExecutorMode.SERIAL
+    #: Shard-executor tuning when ``cert_executor`` is SHARDED
+    #: (``repro.core.shardexec.ShardExecConfig``); ``None`` means the
+    #: defaults (4 shards, in-process backend).
+    shardexec: "ShardExecConfig | None" = None
 
     # -- Global-transaction termination (docs/PROTOCOL.md §14) ----------
     #: LEDGER (default) orders every vote through the partition's own
@@ -174,6 +203,18 @@ class SdurConfig:
     # -- CPU model -------------------------------------------------------
     costs: ServiceCosts = field(default_factory=ServiceCosts)
 
+    def __post_init__(self) -> None:
+        if (
+            self.cert_executor is CertExecutorMode.SHARDED
+            and self.certifier is not CertifierMode.INDEX
+        ):
+            from repro.errors import ConfigurationError
+
+            raise ConfigurationError(
+                "cert_executor=SHARDED requires certifier=INDEX: the scan "
+                "strategy has no per-key index to shard"
+            )
+
     def with_reordering(self, threshold: int) -> "SdurConfig":
         """Copy with reordering enabled at ``threshold``."""
         return self._replace(reorder_threshold=threshold)
@@ -196,6 +237,14 @@ class SdurConfig:
     def with_batching(self, batching: BatchingConfig | None) -> "SdurConfig":
         """Copy with the given delivery-batching policy (``None`` disables)."""
         return self._replace(batching=batching)
+
+    def with_shard_executor(
+        self, shardexec: "ShardExecConfig | None" = None
+    ) -> "SdurConfig":
+        """Copy with the SHARDED certification executor enabled."""
+        return self._replace(
+            cert_executor=CertExecutorMode.SHARDED, shardexec=shardexec
+        )
 
     def _replace(self, **changes: object) -> "SdurConfig":
         from dataclasses import replace

@@ -1,0 +1,487 @@
+"""Sharded certification executor: parallel key-range conflict checks.
+
+Certification of a delivered batch is embarrassingly parallel *by key*:
+every committed-window test is a disjunction of per-key predicates
+("was key k written/read after the snapshot?"), so hash-partitioning
+the key space into N shards and giving each shard its own
+:class:`~repro.core.certindex.KeyConflictIndex` slice lets the checks
+for one batch run concurrently — provided the *verdicts* are then
+merged back in strict delivery order, so the state trajectory stays a
+pure function of the log ("Parallel Deferred Update Replication",
+PAPERS.md).
+
+How the pieces fit (docs/PROTOCOL.md §19):
+
+* **routing** — :func:`shard_of` maps a key to a shard with a seeded
+  CRC-32 (``hash()`` is randomized per process, which would desync
+  replicas).  Shard maps are a *disjoint partition* of the key space,
+  so the union of per-shard answers equals the unsharded disjunction.
+* **mirroring** — :class:`_ShardFanout` is the window's mutation
+  listener: a committed record's write/read keys are sliced per shard;
+  a *bloom* readset cannot be split by key, so the whole digest is
+  owned by shard ``version % N`` and probed there with a transaction's
+  full write set.
+* **phase 1 (parallel)** — :meth:`ShardedCertifier.precertify_batch`
+  builds per-shard task lists for a delivered run and probes all
+  shards concurrently (read-only on the indices, so thread-safe).
+* **phase 2 (merge)** — the server replays the batch in delivery
+  order: a transaction commits iff no shard flagged it *and* the
+  intra-batch carry-forward set (PROTOCOL.md §18.3) does not hit its
+  readset.  Window mutations happen only here, on the delivery path,
+  so sharding is invisible to the protocol.
+
+Two backends ship behind ``ShardExecConfig.backend``: the in-process
+executor (deterministic, sim-safe, and the correctness oracle) and a
+real ``concurrent.futures`` thread pool for the aio transport.  Both
+produce identical verdicts — phase 1 is read-only and results merge in
+shard order — which ``tests/core/test_shardexec.py`` pins.
+"""
+
+from __future__ import annotations
+
+import enum
+import zlib
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.core.certifier import CertificationWindow, CommittedRecord
+from repro.core.certindex import (
+    CertifierCounters,
+    KeyConflictIndex,
+    PendingQueryMixin,
+)
+from repro.core.config import CertifierMode
+from repro.core.pending import PendingList
+from repro.core.transaction import ReadsetDigest, TxnProjection
+from repro.errors import ConfigurationError
+
+
+class ShardBackend(str, enum.Enum):
+    """How per-shard certification tasks are executed."""
+
+    #: Run shards sequentially on the calling thread.  Deterministic,
+    #: safe under the simulated runtime (which multiplexes one thread),
+    #: and the oracle the POOL backend is tested against.  The CPU model
+    #: still credits parallelism via :meth:`ShardedCertifier.batch_cost`.
+    INPROC = "inproc"
+    #: A ``concurrent.futures.ThreadPoolExecutor`` owned by the server;
+    #: for the aio transport on real cores.  Verdicts are identical to
+    #: INPROC because phase 1 is read-only and merges in shard order.
+    POOL = "pool"
+
+
+@dataclass(frozen=True)
+class ShardExecConfig:
+    """Tuning for the sharded certification executor (PROTOCOL.md §19)."""
+
+    #: Number of key-range shards (hash partitions of the key space).
+    num_shards: int = 4
+    #: Seed for the CRC-32 key router.  Must agree across replicas only
+    #: in the sense that it is per-server-local state — verdicts do not
+    #: depend on it — but keeping it in config makes runs reproducible.
+    hash_seed: int = 0
+    backend: ShardBackend = ShardBackend.INPROC
+    #: Worker threads for the POOL backend; ``None`` means one per shard.
+    pool_workers: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.num_shards < 1:
+            raise ConfigurationError(
+                f"num_shards must be >= 1, got {self.num_shards}"
+            )
+        if self.hash_seed < 0:
+            raise ConfigurationError(
+                f"hash_seed must be >= 0, got {self.hash_seed}"
+            )
+        if self.pool_workers is not None and self.pool_workers < 1:
+            raise ConfigurationError(
+                f"pool_workers must be >= 1 or None, got {self.pool_workers}"
+            )
+
+
+def shard_of(key: str, num_shards: int, seed: int = 0) -> int:
+    """Stable key → shard routing.
+
+    Seeded CRC-32 rather than ``hash()``: Python randomizes string
+    hashes per process, and the shard map must be identical across a
+    checkpoint restore (the indices are rebuilt from the window, so a
+    changed map would still be *correct*, just not reproducible).
+    """
+    return zlib.crc32(key.encode("utf-8"), seed) % num_shards
+
+
+class InprocShardExecutor:
+    """Sequential backend: runs every shard task on the calling thread."""
+
+    def map(self, fn, count: int) -> list:
+        return [fn(shard_id) for shard_id in range(count)]
+
+    def drain(self) -> None:
+        """Nothing in flight, ever — ``map`` is synchronous."""
+
+    def shutdown(self) -> None:
+        pass
+
+
+class PooledShardExecutor:
+    """``concurrent.futures`` backend for real-core deployments.
+
+    The pool is created lazily (a restored server may never certify)
+    and owned by the server for its lifetime — certifier rebuilds on
+    checkpoint restore or migration install reuse it.  ``shutdown``
+    joins the workers; the harness asserts no ``shardexec`` threads
+    survive teardown.
+    """
+
+    def __init__(self, workers: int | None = None) -> None:
+        self._workers = workers
+        self._pool: ThreadPoolExecutor | None = None
+
+    def _ensure(self, count: int) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self._workers or count,
+                thread_name_prefix="shardexec",
+            )
+        return self._pool
+
+    def map(self, fn, count: int) -> list:
+        # Executor.map yields results in submission order, so the merge
+        # is deterministic regardless of which worker finishes first.
+        return list(self._ensure(count).map(fn, range(count)))
+
+    def drain(self) -> None:
+        """Barrier: wait until every queued task has completed.
+
+        ``map`` blocks for its own results, so nothing is ever left in
+        flight between calls; the barrier documents (and enforces) that
+        invariant where it matters — before ``checkpoint()`` snapshots
+        delivery-path state.
+        """
+        if self._pool is not None:
+            list(self._pool.map(lambda _i: None, range(1)))
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+ShardExecutor = InprocShardExecutor | PooledShardExecutor
+
+
+def make_shard_executor(config: ShardExecConfig) -> ShardExecutor:
+    if config.backend is ShardBackend.POOL:
+        return PooledShardExecutor(config.pool_workers)
+    return InprocShardExecutor()
+
+
+class _ShardFanout:
+    """WindowListener that slices committed records across shard indices.
+
+    Write and exact-read keys go to the shard that owns them; a bloom
+    readset is routed whole to shard ``version % N`` (it cannot be
+    split by key) and probed there with a transaction's full write set.
+    Evictions mirror additions, so each shard slice retires with the
+    record — a bloom digest is popped exactly when its own record
+    leaves the window, because the window evicts in version order.
+    """
+
+    __slots__ = ("_shards", "_num", "_seed")
+
+    def __init__(
+        self, shards: list[KeyConflictIndex], num_shards: int, seed: int
+    ) -> None:
+        self._shards = shards
+        self._num = num_shards
+        self._seed = seed
+
+    def group(self, keys) -> dict[int, list[str]]:
+        groups: dict[int, list[str]] = {}
+        num = self._num
+        seed = self._seed
+        for key in keys:
+            groups.setdefault(zlib.crc32(key.encode("utf-8"), seed) % num, []).append(key)
+        return groups
+
+    def record_added(self, record: CommittedRecord) -> None:
+        version = record.version
+        readset = record.readset
+        ws_groups = self.group(record.ws_keys)
+        if readset.is_exact:
+            read_groups = self.group(readset.keys)
+            for shard_id in ws_groups.keys() | read_groups.keys():
+                self._shards[shard_id].add_committed_slice(
+                    version,
+                    ws_groups.get(shard_id, ()),
+                    read_groups.get(shard_id, ()),
+                    None,
+                )
+        else:
+            bloom_shard = version % self._num
+            for shard_id in ws_groups.keys() | {bloom_shard}:
+                self._shards[shard_id].add_committed_slice(
+                    version,
+                    ws_groups.get(shard_id, ()),
+                    None,
+                    readset if shard_id == bloom_shard else None,
+                )
+
+    def record_evicted(self, record: CommittedRecord) -> None:
+        version = record.version
+        readset = record.readset
+        ws_groups = self.group(record.ws_keys)
+        if readset.is_exact:
+            read_groups = self.group(readset.keys)
+            for shard_id in ws_groups.keys() | read_groups.keys():
+                self._shards[shard_id].evict_committed_slice(
+                    version,
+                    ws_groups.get(shard_id, ()),
+                    read_groups.get(shard_id, ()),
+                    drop_blooms=False,
+                )
+        else:
+            bloom_shard = version % self._num
+            for shard_id in ws_groups.keys() | {bloom_shard}:
+                self._shards[shard_id].evict_committed_slice(
+                    version,
+                    ws_groups.get(shard_id, ()),
+                    (),
+                    drop_blooms=shard_id == bloom_shard,
+                )
+
+
+#: Task kinds for phase-1 shard probes.
+_FWD_KEYS, _FWD_BLOOM, _BWD = 0, 1, 2
+
+
+@dataclass(slots=True)
+class ShardPlan:
+    """Phase-1 result for one delivered run (pre-batch window state).
+
+    ``conflicts[i]`` is True iff some shard flagged transaction *i*
+    against the window as it stood when the batch started; intra-batch
+    conflicts are the merge loop's carry-forward set.  ``shard_units``
+    is the per-shard work (key probes) the plan executed — the
+    imbalance gauge and the occupancy histogram come from it.
+    """
+
+    conflicts: list[bool]
+    shard_units: list[int] = field(default_factory=list)
+    total_units: int = 0
+
+
+class ShardedCertifier(PendingQueryMixin):
+    """Certification strategy that fans committed-window checks out over
+    key-range shards.
+
+    Single-transaction ``certify`` (the unbatched delivery path and the
+    global-transaction path) probes only the shards a transaction's
+    keys touch, sequentially — it is already in delivery order, so
+    there is nothing to merge.  Delivered local runs go through
+    ``precertify_batch`` + the server's merge loop instead.
+
+    The pending list stays *unsharded* (``pending_index``): pending
+    entries are few and churn on every delivery, so slicing them buys
+    nothing; the :class:`PendingQueryMixin` queries are byte-identical
+    to :class:`~repro.core.certindex.IndexedCertifier`'s.
+    """
+
+    mode = CertifierMode.INDEX
+
+    def __init__(
+        self,
+        window: CertificationWindow,
+        pending: PendingList,
+        counters: CertifierCounters | None = None,
+        *,
+        config: ShardExecConfig,
+        executor: ShardExecutor,
+    ) -> None:
+        self.window = window
+        self.pending = pending
+        self.counters = counters if counters is not None else CertifierCounters()
+        self.config = config
+        self.executor = executor
+        self.num_shards = config.num_shards
+        self.hash_seed = config.hash_seed
+        self.shards = [
+            KeyConflictIndex(window.capacity, floor=window.floor)
+            for _ in range(config.num_shards)
+        ]
+        self._fanout = _ShardFanout(self.shards, config.num_shards, config.hash_seed)
+        self.pending_index = KeyConflictIndex(window.capacity, floor=window.floor)
+        # Rebuild from the (possibly restored) window and pending list —
+        # the checkpoint carries no index state, sharded or otherwise.
+        for record in window.records_after(-1):
+            self._fanout.record_added(record)
+        for entry in pending:
+            self.pending_index.entry_added(entry)
+        window.listener = self._fanout
+        pending.listener = self.pending_index
+
+    # ------------------------------------------------------------------
+    # Algorithm 2 line 49, single-transaction path
+    # ------------------------------------------------------------------
+    def certify(self, txn: TxnProjection) -> bool | None:
+        if txn.snapshot < self.window.floor:
+            return None
+        counters = self.counters
+        fallbacks_before = counters.index_fallbacks
+        verdict = not self._committed_conflict(txn)
+        self._count_query(fallbacks_before)
+        return verdict
+
+    def _committed_conflict(self, txn: TxnProjection) -> bool:
+        snapshot = txn.snapshot
+        counters = self.counters
+        shards = self.shards
+        readset = txn.readset
+        if readset.is_exact:
+            for shard_id, keys in self._fanout.group(readset.keys).items():
+                counters.shard_certify_calls += 1
+                if shards[shard_id].forward_conflict_keys(keys, snapshot):
+                    return True
+        else:
+            # A bloom readset may cover keys in any shard: probe every
+            # shard's write segments (their union is every write).
+            for shard in shards:
+                counters.shard_certify_calls += 1
+                if shard.bloom_forward_conflict(readset, snapshot):
+                    return True
+        if txn.is_global and txn.writeset:
+            ws_keys = txn.ws_keys
+            ws_groups = self._fanout.group(ws_keys)
+            for shard_id, keys in ws_groups.items():
+                counters.shard_certify_calls += 1
+                if shards[shard_id].backward_conflict_keys(
+                    keys, snapshot, counters, probe_keys=ws_keys
+                ):
+                    return True
+            # Bloom-readset records live in one shard each, chosen by
+            # version — a shard none of txn's own keys map to may still
+            # hold a digest covering them.
+            for shard_id, shard in enumerate(shards):
+                if shard_id in ws_groups or not shard.has_bloom_records():
+                    continue
+                counters.shard_certify_calls += 1
+                if shard.backward_conflict_keys(
+                    (), snapshot, counters, probe_keys=ws_keys
+                ):
+                    return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Phase 1: parallel pre-certification of a delivered run
+    # ------------------------------------------------------------------
+    def precertify_batch(self, projs: list[TxnProjection]) -> ShardPlan:
+        """Probe every shard concurrently against the *pre-batch* window.
+
+        Read-only on the shard indices, so the POOL backend may run the
+        per-shard closures on real threads; results merge in shard
+        order, making the verdict vector deterministic either way.
+        In-batch effects are deliberately absent here — the server's
+        merge loop replays them through the carry-forward set.
+        """
+        num = self.num_shards
+        shards = self.shards
+        counters = self.counters
+        tasks: list[list[tuple]] = [[] for _ in range(num)]
+        shard_units = [0] * num
+        for index, proj in enumerate(projs):
+            snapshot = proj.snapshot
+            readset = proj.readset
+            if readset.is_exact:
+                for shard_id, keys in self._fanout.group(readset.keys).items():
+                    tasks[shard_id].append((index, _FWD_KEYS, keys, snapshot, None))
+                    shard_units[shard_id] += len(keys)
+            else:
+                for shard_id in range(num):
+                    tasks[shard_id].append((index, _FWD_BLOOM, readset, snapshot, None))
+                    shard_units[shard_id] += 1
+            if proj.is_global and proj.writeset:
+                ws_keys = proj.ws_keys
+                ws_groups = self._fanout.group(ws_keys)
+                for shard_id, keys in ws_groups.items():
+                    tasks[shard_id].append((index, _BWD, keys, snapshot, ws_keys))
+                    shard_units[shard_id] += len(keys)
+                for shard_id in range(num):
+                    if shard_id in ws_groups or not shards[shard_id].has_bloom_records():
+                        continue
+                    tasks[shard_id].append((index, _BWD, (), snapshot, ws_keys))
+                    shard_units[shard_id] += 1
+
+        def run_shard(shard_id: int) -> tuple[list[int], int, int]:
+            shard = shards[shard_id]
+            # Thread-local counters: workers must not race on the shared
+            # stats object; totals merge below in shard order.
+            local = CertifierCounters()
+            hits: list[int] = []
+            for index, kind, payload, snapshot, probe in tasks[shard_id]:
+                if kind == _FWD_KEYS:
+                    hit = shard.forward_conflict_keys(payload, snapshot)
+                elif kind == _FWD_BLOOM:
+                    hit = shard.bloom_forward_conflict(payload, snapshot)
+                else:
+                    hit = shard.backward_conflict_keys(
+                        payload, snapshot, local, probe_keys=probe
+                    )
+                if hit:
+                    hits.append(index)
+            return hits, local.ctest_calls, local.index_fallbacks
+
+        conflicts = [False] * len(projs)
+        for shard_id, (hits, ctest, fallbacks) in enumerate(
+            self.executor.map(run_shard, num)
+        ):
+            counters.shard_certify_calls += len(tasks[shard_id])
+            counters.ctest_calls += ctest
+            counters.index_fallbacks += fallbacks
+            for index in hits:
+                conflicts[index] = True
+        return ShardPlan(conflicts, shard_units, sum(shard_units))
+
+    # ------------------------------------------------------------------
+    # CPU model: what parallel certification is worth in simulated time
+    # ------------------------------------------------------------------
+    def txn_shard_units(self, proj: TxnProjection) -> list[int]:
+        """Per-shard key-probe counts for one transaction."""
+        num = self.num_shards
+        seed = self.hash_seed
+        units = [0] * num
+        readset = proj.readset
+        if readset.is_exact:
+            for key in readset.keys:
+                units[zlib.crc32(key.encode("utf-8"), seed) % num] += 1
+        else:
+            for shard_id in range(num):
+                units[shard_id] += 1
+        if proj.is_global and proj.writeset:
+            for key in proj.ws_keys:
+                units[zlib.crc32(key.encode("utf-8"), seed) % num] += 1
+        return units
+
+    def single_cost(self, proj: TxnProjection, certify_cost: float) -> float:
+        """Simulated CPU for certifying one transaction: the critical
+        path is the most loaded shard's share of the work."""
+        units = self.txn_shard_units(proj)
+        total = sum(units)
+        if total == 0:
+            return certify_cost
+        return certify_cost * max(units) / total
+
+    def batch_cost(self, projs: list[TxnProjection], certify_cost: float) -> float:
+        """Simulated CPU for phase 1 over a run: each transaction's
+        ``certify_cost`` splits across shards proportional to its key
+        placement; the batch takes as long as its most loaded shard."""
+        per_shard = [0.0] * self.num_shards
+        for proj in projs:
+            units = self.txn_shard_units(proj)
+            total = sum(units)
+            if total == 0:
+                per_shard[0] += certify_cost
+            else:
+                for shard_id, count in enumerate(units):
+                    if count:
+                        per_shard[shard_id] += certify_cost * count / total
+        return max(per_shard, default=0.0)

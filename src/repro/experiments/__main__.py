@@ -30,6 +30,7 @@ from repro.experiments import (
     ablation_batching,
     ablation_certindex,
     ablation_multicast,
+    ablation_shardexec,
     ext_failover,
     ablation_bloom,
     ablation_learning,
@@ -68,6 +69,7 @@ REGISTRY: dict[str, tuple[str, Callable[[bool], ExperimentTable]]] = {
     "A5": ("SDUR vs genuine atomic multicast", lambda q: ablation_multicast.run(quick=q)),
     "A6": ("Vote-ledger termination ablation", lambda q: ablation_vote_ledger.run(quick=q)),
     "A7": ("Key-indexed vs scan certification", lambda q: ablation_certindex.run(quick=q)),
+    "A8": ("Sharded vs serial certification executor", lambda q: ablation_shardexec.run(quick=q)),
     "E1": ("Availability under leader failover", lambda q: ext_failover.run(quick=q)),
     "E2": ("Live partition split under load", lambda q: reconfig.run(quick=q)),
     "E3": ("Autonomous elasticity (autoscale)", lambda q: autoscale.run(quick=q)),

@@ -49,6 +49,9 @@ SERVER_WIRE_COUNTERS: tuple[tuple[str, str, str, str], ...] = (
     ("batch_size_max", "gauge", "deliveries", "Largest delivery batch processed."),
     ("batch_certify_ns", "counter", "nanoseconds", "Wall time inside the one-pass batch loop."),
     ("codec_bytes_saved", "counter", "bytes", "Reply bytes saved by packed OutcomeBatch replies."),
+    ("shard_certify_calls", "counter", "probes", "Per-shard conflict probes by the sharded executor (§19)."),
+    ("shard_merge_ns", "counter", "nanoseconds", "Wall time in the delivery-order verdict merge loop (§19)."),
+    ("shard_imbalance_max", "gauge", "percent", "High-water shard load imbalance (100 = balanced, §19)."),
 )
 
 #: Granular abort buckets (components of the `aborted` wire counter).

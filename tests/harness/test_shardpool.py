@@ -1,0 +1,56 @@
+"""Harness teardown must not leak shard-executor worker threads.
+
+The POOL backend spawns real ``concurrent.futures`` workers (named
+``shardexec*``) the first time a server pre-certifies a batch.  Those
+threads are owned by the server, not the simulated world — crashing or
+dropping the world does nothing to them — so ``SdurCluster.shutdown()``
+must join every pool, and tests using the POOL backend must leave the
+process thread-clean (a leaked worker outlives the test and poisons
+thread-count assertions elsewhere in the run).
+"""
+
+import threading
+
+from repro.core.batch import BatchingConfig
+from repro.core.config import SdurConfig
+from repro.core.shardexec import ShardBackend, ShardExecConfig
+
+from tests.conftest import make_cluster, run_txn, update_program
+
+
+def shardexec_threads() -> list[str]:
+    return [
+        t.name for t in threading.enumerate() if t.name.startswith("shardexec")
+    ]
+
+
+class TestShardPoolTeardown:
+    def test_shutdown_joins_pool_workers(self):
+        config = SdurConfig(
+            batching=BatchingConfig(max_batch=8),
+        ).with_shard_executor(
+            ShardExecConfig(num_shards=4, backend=ShardBackend.POOL)
+        )
+        cluster = make_cluster(2, config=config, seed=3)
+        cluster.start()
+        client = cluster.add_client()
+        for i in range(24):
+            run_txn(cluster, client, update_program([str(i % 9)]))
+        cluster.world.run_for(1.0)
+        stats = cluster.server_stats()
+        assert any(
+            counters["shard_certify_calls"] > 0
+            for node, counters in stats.items()
+            if node != "autoscale"
+        )
+        assert shardexec_threads()  # pools actually spawned workers
+        cluster.shutdown()
+        assert shardexec_threads() == []
+
+    def test_shutdown_is_safe_for_serial_clusters(self):
+        cluster = make_cluster(1, seed=4)
+        cluster.start()
+        cluster.world.run_for(0.2)
+        cluster.shutdown()
+        cluster.shutdown()  # idempotent
+        assert shardexec_threads() == []

@@ -1,0 +1,296 @@
+"""Differential property: the sharded certification executor is
+bit-identical to the serial one (docs/PROTOCOL.md §19.2).
+
+Certification decides commit order at every replica, so the sharded
+executor is only admissible if, for every delivery sequence, the state
+it produces is byte-for-byte the state the serial executor produces —
+the shard map, the phase-1/merge split, and the carry-forward replay
+must all be invisible to the protocol.  This suite scripts full
+delivery sequences — local and global projections (with cross-shard
+read/write overlap: every key can land in any shard), bloom readsets
+(which cannot be split by key and ride one shard whole), noop ticks,
+contradictory and duplicate votes, duplicate deliveries, stale
+snapshots below the window floor — into two raw servers, SERIAL vs
+SHARDED at hypothesis-chosen shard counts (1, 2, 7, 64), batch bounds,
+flush points, and reorder thresholds, and requires their final states
+to match exactly.
+
+Cost counters (``ctest_calls``, ``index_*``, ``shard_*``, timing) are
+excluded from the comparison: they measure *work*, which sharding is
+precisely meant to change.  Everything the protocol can observe —
+store, SC/DC, window, floor, completed map, pending remainder, abort
+buckets, per-client outcome stream — must not move.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.batch import BatchingConfig
+from repro.core.config import SdurConfig, ServiceCosts
+from repro.core.directory import ClusterDirectory
+from repro.core.messages import NoopTick, OutcomeBatch, OutcomeNotice
+from repro.core.partitioning import PartitionMap
+from repro.core.server import SdurServer
+from repro.core.shardexec import ShardExecConfig
+from repro.core.transaction import ReadsetDigest, TxnId, TxnProjection
+from repro.termination.messages import VoteRecord
+
+from tests.properties.test_batch_differential import DropFabric, ScriptRuntime
+
+KEYS = [f"0/k{i}" for i in range(6)]
+
+
+def build_server(
+    shardexec: ShardExecConfig | None,
+    batching: BatchingConfig | None,
+    reorder_threshold: int,
+) -> SdurServer:
+    config = SdurConfig(
+        costs=ServiceCosts(),
+        history_window=16,  # small: snapshots can fall below the floor
+        reorder_threshold=reorder_threshold,
+        vote_timeout=None,
+        gossip_interval=None,
+        batching=batching,
+    )
+    if shardexec is not None:
+        config = config.with_shard_executor(shardexec)
+    return SdurServer(
+        runtime=ScriptRuntime(),
+        partition="p0",
+        directory=ClusterDirectory(
+            partitions={"p0": ["s0"], "p1": ["s9"]}, preferred={"p0": "s0", "p1": "s9"}
+        ),
+        partition_map=PartitionMap.by_index(2),
+        fabric=DropFabric(),
+        config=config,
+    )
+
+
+# One abstract step of the delivery script.  Vote/dup steps carry a raw
+# index resolved modulo the targets available at concretization time.
+op_strategy = st.one_of(
+    st.tuples(
+        st.just("txn"),
+        st.booleans(),  # is_global
+        st.booleans(),  # bloom readset (rides one shard whole)
+        st.lists(st.integers(0, len(KEYS) - 1), min_size=1, max_size=3),  # reads
+        st.lists(st.integers(0, len(KEYS) - 1), min_size=1, max_size=2),  # writes
+        st.integers(0, 24),  # snapshot lag (window is 16: some go stale)
+    ),
+    st.tuples(st.just("noop")),
+    st.tuples(
+        st.just("vote"),
+        st.integers(0, 63),  # which global (mod count)
+        st.sampled_from(["p0", "p1"]),
+        st.sampled_from(["commit", "abort"]),
+    ),
+    st.tuples(st.just("dup"), st.integers(0, 63)),  # which txn (mod count)
+)
+
+
+def concretize(ops) -> list[object]:
+    """Turn the abstract script into concrete log values.
+
+    Snapshots are derived by replaying the growing sequence through a
+    throwaway serial server (``snapshot = sc - lag`` is always valid
+    for the same prefix, so neither server under test gates); trailing
+    commit votes close every still-open global so the pending list
+    drains.  Mirrors ``test_batch_differential.concretize`` with one
+    extra axis: readsets may travel as bloom digests.
+    """
+    oracle = build_server(None, batching=None, reorder_threshold=0)
+    values: list[object] = []
+    projections: list[TxnProjection] = []
+    globals_: list[TxnProjection] = []
+    voted: set[tuple[TxnId, str]] = set()
+
+    def emit(value) -> None:
+        oracle.on_adeliver(len(values), value)
+        values.append(value)
+
+    for op in ops:
+        kind = op[0]
+        if kind == "txn":
+            _, is_global, bloom, reads, writes, lag = op
+            read_keys = [KEYS[i] for i in reads]
+            proj = TxnProjection(
+                tid=TxnId("c", len(projections)),
+                partition="p0",
+                readset=(
+                    ReadsetDigest.bloomed(read_keys)
+                    if bloom
+                    else ReadsetDigest.exact(read_keys)
+                ),
+                writeset={KEYS[i]: len(projections) for i in writes},
+                snapshot=max(0, oracle.sc - lag),
+                partitions=("p0", "p1") if is_global else ("p0",),
+                coordinator="s0",
+                client="c",
+            )
+            projections.append(proj)
+            if is_global:
+                globals_.append(proj)
+            emit(proj)
+        elif kind == "noop":
+            emit(NoopTick())
+        elif kind == "vote":
+            if not globals_:
+                continue
+            _, index, partition, vote = op
+            proj = globals_[index % len(globals_)]
+            if (proj.tid, partition) in voted:
+                continue
+            voted.add((proj.tid, partition))
+            emit(
+                VoteRecord(
+                    tid=proj.tid,
+                    partition=partition,
+                    vote=vote,
+                    involved=proj.partitions if partition == "p0" else (),
+                )
+            )
+        elif kind == "dup":
+            if not projections:
+                continue
+            emit(projections[op[1] % len(projections)])
+    for proj in globals_:
+        for partition in ("p0", "p1"):
+            if (proj.tid, partition) not in voted:
+                emit(
+                    VoteRecord(
+                        tid=proj.tid,
+                        partition=partition,
+                        vote="commit",
+                        involved=proj.partitions if partition == "p0" else (),
+                    )
+                )
+    return values
+
+
+def replay(values, shardexec, batching, flush_points, reorder_threshold) -> SdurServer:
+    server = build_server(shardexec, batching, reorder_threshold)
+    for instance, value in enumerate(values):
+        server.on_adeliver(instance, value)
+        if batching is not None and instance in flush_points:
+            server.flush_batches()
+    server.flush_batches()
+    return server
+
+
+def state_of(server: SdurServer) -> dict:
+    """Everything the protocol can observe.  Cost counters — ctest,
+    index hits/fallbacks, shard probes, wall-clock timings — are
+    deliberately absent: sharding changes the work, never the state."""
+    chains = {
+        key: [(vv.version, vv.value) for vv in chain]
+        for key, chain in server.store._versions.items()
+    }
+    outcomes: list[tuple[str, TxnId, str]] = []
+    for dst, msg in server.runtime.sent:
+        if isinstance(msg, OutcomeNotice):
+            outcomes.append((dst, msg.tid, msg.outcome))
+        elif isinstance(msg, OutcomeBatch):
+            outcomes.extend((dst, tid, outcome) for tid, outcome in msg.outcomes)
+    return {
+        "sc": server.sc,
+        "dc": server.dc,
+        "store": chains,
+        "window": [
+            (r.tid, r.version, r.is_global) for r in server.window._records
+        ],
+        "floor": server.window.floor,
+        "completed": list(server._completed.items()),
+        "pending": [
+            (e.tid, dict(e.votes), e.doomed) for e in server.pending
+        ],
+        "outcomes": outcomes,
+        "committed_local": server.stats.committed_local,
+        "committed_global": server.stats.committed_global,
+        "aborted_certification": server.stats.aborted_certification,
+        "aborted_stale_snapshot": server.stats.aborted_stale_snapshot,
+        "aborted_votes": server.stats.aborted_votes,
+        "aborted_reorder": server.stats.aborted_reorder,
+        "deferred": server.stats.deferred,
+    }
+
+
+@settings(deadline=None, max_examples=60)
+@given(
+    ops=st.lists(op_strategy, min_size=1, max_size=50),
+    num_shards=st.sampled_from([1, 2, 7, 64]),
+    hash_seed=st.sampled_from([0, 17]),
+    max_batch=st.sampled_from([1, 2, 7, 32]),
+    flush_points=st.sets(st.integers(0, 49), max_size=8),
+    reorder_threshold=st.sampled_from([0, 2]),
+)
+def test_sharded_state_is_bit_identical_to_serial(
+    ops, num_shards, hash_seed, max_batch, flush_points, reorder_threshold
+):
+    values = concretize(ops)
+    batching = BatchingConfig(max_batch=max_batch)
+    serial = replay(values, None, batching, flush_points, reorder_threshold)
+    sharded = replay(
+        values,
+        ShardExecConfig(num_shards=num_shards, hash_seed=hash_seed),
+        batching,
+        flush_points,
+        reorder_threshold,
+    )
+    assert state_of(sharded) == state_of(serial)
+
+
+@settings(deadline=None, max_examples=30)
+@given(
+    ops=st.lists(op_strategy, min_size=1, max_size=40),
+    num_shards=st.sampled_from([2, 7]),
+    reorder_threshold=st.sampled_from([0, 2]),
+)
+def test_sharded_unbatched_matches_serial(ops, num_shards, reorder_threshold):
+    """Without a batcher every delivery takes the single-transaction
+    ``certify`` path — the shard-probing fan-out with nothing to merge —
+    which must equal the serial verdict too."""
+    values = concretize(ops)
+    serial = replay(values, None, None, set(), reorder_threshold)
+    sharded = replay(
+        values, ShardExecConfig(num_shards=num_shards), None, set(), reorder_threshold
+    )
+    assert state_of(sharded) == state_of(serial)
+
+
+def test_sharded_fast_path_actually_engages():
+    """Guard against the two-phase path silently never firing (the
+    properties above would still pass if every value fell back to the
+    one-value ingest)."""
+    ops = [
+        ("txn", False, False, [i % len(KEYS)], [(i + 1) % len(KEYS)], 0)
+        for i in range(12)
+    ]
+    values = concretize(ops)
+    sharded = replay(
+        values, ShardExecConfig(num_shards=4), BatchingConfig(max_batch=4), set(), 0
+    )
+    assert sharded.stats.committed_local == 12
+    assert sharded.stats.batch_size_max == 4
+    assert sharded.stats.shard_certify_calls > 0
+    assert sharded.stats.shard_merge_ns > 0
+
+
+def test_carry_forward_aborts_intra_batch_conflicts():
+    """A member reading an earlier member's in-batch write at a snapshot
+    that predates it must abort in the merge loop — phase 1 ran against
+    the pre-batch window and cannot see that write."""
+    write_then_read = [
+        ("txn", False, False, [0], [1], 0),   # writes KEYS[1]
+        ("txn", False, False, [1], [2], 24),  # reads it at snapshot 0
+    ]
+    values = concretize(write_then_read)
+    # Both land in one batch: max_batch=2, no intermediate flush.
+    serial = replay(values, None, BatchingConfig(max_batch=2), set(), 0)
+    sharded = replay(
+        values, ShardExecConfig(num_shards=4), BatchingConfig(max_batch=2), set(), 0
+    )
+    assert state_of(sharded) == state_of(serial)
+    assert sharded.stats.committed_local == 1
+    assert sharded.stats.aborted_certification == 1

@@ -12,7 +12,7 @@ from tests.conftest import make_cluster, run_txn, update_program
 from repro.errors import ConfigurationError
 from repro.telemetry import SERVER_WIRE_COUNTERS, MetricRegistry
 
-#: The exact dict server_stats() has exported since the §16/§18 PRs.
+#: The exact dict server_stats() has exported since the §16/§18/§19 PRs.
 LEGACY_KEYS = [
     "committed_local",
     "committed_global",
@@ -36,6 +36,9 @@ LEGACY_KEYS = [
     "batch_size_max",
     "batch_certify_ns",
     "codec_bytes_saved",
+    "shard_certify_calls",
+    "shard_merge_ns",
+    "shard_imbalance_max",
 ]
 
 
